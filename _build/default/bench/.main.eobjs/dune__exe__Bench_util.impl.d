@@ -1,0 +1,1 @@
+bench/bench_util.ml: Arg List Printf String Tsens_relational Unix

@@ -1,0 +1,1 @@
+bench/exp_explain.ml: Bench_util Facebook List Printf Queries Tpch Tsens Tsens_sensitivity Tsens_workload

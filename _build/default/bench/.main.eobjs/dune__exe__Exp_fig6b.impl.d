@@ -1,0 +1,1 @@
+bench/exp_fig6b.ml: Bench_util Database Elastic List Printf Queries Relation Sens_types Tpch Tsens Tsens_query Tsens_relational Tsens_sensitivity Tsens_workload Tuple

@@ -1,0 +1,1 @@
+bench/exp_naive.ml: Bench_util Naive Printf Queries Sens_types Tpch Tsens Tsens_sensitivity Tsens_workload

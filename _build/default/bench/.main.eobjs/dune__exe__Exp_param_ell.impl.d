@@ -1,0 +1,1 @@
+bench/exp_param_ell.ml: Bench_util Facebook List Mechanism Metrics Printf Prng Queries Sens_types Tsens Tsens_dp Tsens_relational Tsens_sensitivity Tsens_workload

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Bench_util Elastic Facebook List Printf Queries Sens_types Tsens Tsens_sensitivity Tsens_workload Yannakakis

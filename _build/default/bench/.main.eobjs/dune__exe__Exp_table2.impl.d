@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Bench_util Cq Facebook List Mechanism Metrics Printf Privsql Prng Queries String Tpch Tsens Tsens_dp Tsens_query Tsens_relational Tsens_sensitivity Tsens_workload Yannakakis

@@ -1,0 +1,1 @@
+bench/exp_topk.ml: Approx Bench_util Facebook List Printf Queries Sens_types Tpch Tsens Tsens_sensitivity Tsens_workload

@@ -1,0 +1,1 @@
+bench/exp_tpch_sweep.ml: Bench_util Count Elastic List Printf Queries Sens_types Tpch Tsens Tsens_relational Tsens_sensitivity Tsens_workload Yannakakis

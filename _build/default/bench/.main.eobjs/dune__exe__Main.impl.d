@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bench_util Cmd Cmdliner Exp_explain Exp_fig6b Exp_naive Exp_param_ell Exp_table1 Exp_table2 Exp_topk Exp_tpch_sweep Facebook Format List Micro Stdlib String Term Tsens_workload

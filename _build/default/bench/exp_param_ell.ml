@@ -1,0 +1,53 @@
+(* Section 7.3 parameter analysis: how the assumed tuple-sensitivity
+   upper bound ell affects TSensDP on the star query. *)
+
+open Tsens_relational
+open Tsens_sensitivity
+open Tsens_dp
+open Tsens_workload
+
+let ells = [ 1; 10; 30; 50; 100; 1000 ]
+
+let run ~seed ~runs ~epsilon ~fb_params =
+  Bench_util.print_heading
+    (Printf.sprintf
+       "Parameter analysis: varying ell for q* (eps = %g, %d runs)" epsilon
+       runs);
+  let data = Facebook.generate { fb_params with Facebook.seed } in
+  let db = Queries.facebook_database data Queries.qstar in
+  let analysis = Tsens.analyze Queries.qstar db in
+  let true_ls =
+    (Tsens.result analysis).Sens_types.local_sensitivity
+  in
+  Printf.printf "true local sensitivity of q*: %s\n"
+    (Bench_util.count_to_string true_ls);
+  let rng = Prng.create (seed + 2) in
+  let rows =
+    List.map
+      (fun ell ->
+        let config =
+          {
+            (Mechanism.default_config ~ell ~private_relation:"R2") with
+            Mechanism.epsilon;
+          }
+        in
+        let trials =
+          List.init runs (fun _ ->
+              let report, seconds =
+                Bench_util.time (fun () ->
+                    Mechanism.run_with_analysis rng config analysis)
+              in
+              { Metrics.report; seconds })
+        in
+        let s = Metrics.summarize trials in
+        [
+          string_of_int ell;
+          Printf.sprintf "%.0f" s.Metrics.median_threshold;
+          Bench_util.pp_percent s.Metrics.median_bias;
+          Bench_util.pp_percent s.Metrics.median_error;
+        ])
+      ells
+  in
+  Bench_util.print_table
+    ~columns:[ "ell"; "median tau"; "median bias"; "median error" ]
+    rows

@@ -1,0 +1,55 @@
+(* Table 1: local sensitivity and runtime of the four Facebook queries,
+   for TSens and Elastic, plus plain query-evaluation time. *)
+
+open Tsens_sensitivity
+open Tsens_workload
+
+let run ~params =
+  Bench_util.print_heading
+    (Printf.sprintf
+       "Table 1: Facebook queries (%d nodes, %d edges, %d circles)"
+       params.Facebook.nodes params.Facebook.edges params.Facebook.circles);
+  let data = Facebook.generate params in
+  let plans = Queries.facebook_plans in
+  let rows =
+    List.map
+      (fun (label, cq) ->
+        Printf.eprintf "[table1] %s...\n%!" label;
+        let db = Queries.facebook_database data cq in
+        let tsens, tsens_time =
+          Bench_util.time (fun () -> Tsens.local_sensitivity ~plans cq db)
+        in
+        let elastic, elastic_time =
+          Bench_util.time (fun () -> Elastic.local_sensitivity ~plans cq db)
+        in
+        let size, eval_time =
+          Bench_util.time (fun () -> Yannakakis.count ~plans cq db)
+        in
+        [
+          label;
+          Bench_util.count_to_string tsens.Sens_types.local_sensitivity;
+          Bench_util.count_to_string elastic.Sens_types.local_sensitivity;
+          Bench_util.seconds_to_string tsens_time;
+          Bench_util.seconds_to_string elastic_time;
+          Bench_util.seconds_to_string eval_time;
+          Bench_util.count_to_string size;
+        ])
+      [
+        ("q4 (triangle)", Queries.q4);
+        ("qw (path)", Queries.qw);
+        ("qo (4-cycle)", Queries.qo);
+        ("q* (star)", Queries.qstar);
+      ]
+  in
+  Bench_util.print_table
+    ~columns:
+      [
+        "query";
+        "LS_TSens";
+        "LS_Elastic";
+        "t_TSens";
+        "t_Elastic";
+        "t_eval";
+        "|Q(D)|";
+      ]
+    rows

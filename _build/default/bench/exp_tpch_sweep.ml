@@ -1,0 +1,109 @@
+(* The shared TPC-H sweep behind Figure 6a (local sensitivity vs scale)
+   and Figure 7 (runtime vs scale): for each scale and each of q1/q2/q3,
+   run TSens, Elastic, and plain query evaluation (Yannakakis count). *)
+
+open Tsens_relational
+open Tsens_sensitivity
+open Tsens_workload
+
+type cell = {
+  tsens_ls : Count.t;
+  elastic_ls : Count.t;
+  tsens_time : float;
+  elastic_time : float;
+  eval_time : float;
+}
+
+type row = { scale : float; cells : (string * cell) list }
+
+(* Lineitem's multiplicity table in q3 is skipped, as in the paper: its
+   key is a superkey of the join, so its tuple sensitivity is at most 1,
+   and the table would dominate time and memory. *)
+let queries =
+  [
+    ("q1", Queries.q1, []);
+    ("q2", Queries.q2, []);
+    ("q3", Queries.q3, [ "Lineitem" ]);
+  ]
+
+let run_query cq skip db =
+  let plans = Queries.tpch_plans in
+  let tsens, tsens_time =
+    Bench_util.time (fun () -> Tsens.local_sensitivity ~skip ~plans cq db)
+  in
+  let elastic, elastic_time =
+    Bench_util.time (fun () -> Elastic.local_sensitivity ~plans cq db)
+  in
+  let _, eval_time =
+    Bench_util.time (fun () -> Yannakakis.count ~plans cq db)
+  in
+  {
+    tsens_ls = tsens.Sens_types.local_sensitivity;
+    elastic_ls = elastic.Sens_types.local_sensitivity;
+    tsens_time;
+    elastic_time;
+    eval_time;
+  }
+
+let run ~seed ~scales =
+  List.map
+    (fun scale ->
+      Printf.eprintf "[sweep] scale %g...\n%!" scale;
+      let db = Tpch.generate ~seed ~scale () in
+      let cells =
+        List.map (fun (label, cq, skip) -> (label, run_query cq skip db)) queries
+      in
+      { scale; cells })
+    scales
+
+let print_fig6a rows =
+  Bench_util.print_heading
+    "Figure 6a: local sensitivity vs scale (TSens vs Elastic, TPC-H)";
+  let columns =
+    "scale"
+    :: List.concat_map
+         (fun (label, _, _) -> [ label ^ "_TSens"; label ^ "_Elastic" ])
+         queries
+  in
+  let body =
+    List.map
+      (fun { scale; cells } ->
+        Printf.sprintf "%g" scale
+        :: List.concat_map
+             (fun (label, _, _) ->
+               let c = List.assoc label cells in
+               [
+                 Bench_util.count_to_string c.tsens_ls;
+                 Bench_util.count_to_string c.elastic_ls;
+               ])
+             queries)
+      rows
+  in
+  Bench_util.print_table ~columns body
+
+let print_fig7 rows =
+  Bench_util.print_heading
+    "Figure 7: runtime vs scale (TSens vs Elastic vs query evaluation)";
+  let columns =
+    "scale"
+    :: List.concat_map
+         (fun (label, _, _) ->
+           [ label ^ "_TSens"; label ^ "_query"; label ^ "_Elastic" ])
+         queries
+  in
+  let body =
+    List.map
+      (fun { scale; cells } ->
+        Printf.sprintf "%g" scale
+        :: List.concat_map
+             (fun (label, _, _) ->
+               let c = List.assoc label cells in
+               [
+                 Bench_util.seconds_to_string c.tsens_time;
+                 Bench_util.seconds_to_string c.eval_time;
+                 Bench_util.seconds_to_string c.elastic_time;
+               ])
+             queries)
+      rows
+  in
+  Bench_util.print_table ~columns body

@@ -1,0 +1,139 @@
+(* Bechamel micro-benchmarks: one Test.make per reproduced table/figure,
+   timing the kernel that experiment exercises, plus the core relational
+   operators. Small fixed inputs so the whole pass stays quick. *)
+
+open Bechamel
+open Toolkit
+open Tsens_relational
+open Tsens_query
+open Tsens_sensitivity
+open Tsens_dp
+open Tsens_workload
+
+let micro_scale = 0.0005
+let tpch = lazy (Tpch.generate ~scale:micro_scale ())
+
+let fb =
+  lazy
+    (Facebook.generate
+       { Facebook.nodes = 80; edges = 600; circles = 80; seed = 42 })
+
+let fb_db cq = Queries.facebook_database (Lazy.force fb) cq
+
+let test_fig6a_q1_tsens =
+  Test.make ~name:"fig6a/q1_tsens"
+    (Staged.stage (fun () ->
+         Tsens.local_sensitivity ~plans:Queries.tpch_plans Queries.q1
+           (Lazy.force tpch)))
+
+let test_fig6a_q2_tsens =
+  Test.make ~name:"fig6a/q2_tsens"
+    (Staged.stage (fun () ->
+         Tsens.local_sensitivity ~plans:Queries.tpch_plans Queries.q2
+           (Lazy.force tpch)))
+
+let test_fig6a_q3_tsens =
+  Test.make ~name:"fig6a/q3_tsens"
+    (Staged.stage (fun () ->
+         Tsens.local_sensitivity ~plans:Queries.tpch_plans Queries.q3
+           (Lazy.force tpch)))
+
+let test_fig6a_elastic =
+  Test.make ~name:"fig6a/q1_elastic"
+    (Staged.stage (fun () ->
+         Elastic.local_sensitivity ~plans:Queries.tpch_plans Queries.q1
+           (Lazy.force tpch)))
+
+let test_fig7_eval =
+  Test.make ~name:"fig7/q1_yannakakis"
+    (Staged.stage (fun () ->
+         Yannakakis.count ~plans:Queries.tpch_plans Queries.q1
+           (Lazy.force tpch)))
+
+let test_table1_q4 =
+  Test.make ~name:"table1/q4_tsens"
+    (Staged.stage (fun () ->
+         Tsens.local_sensitivity ~plans:Queries.facebook_plans Queries.q4
+           (fb_db Queries.q4)))
+
+let test_table1_qw_path =
+  Test.make ~name:"table1/qw_path_algorithm"
+    (Staged.stage (fun () ->
+         Path_sens.local_sensitivity Queries.qw (fb_db Queries.qw)))
+
+let test_table2_tsensdp =
+  let analysis =
+    lazy
+      (Tsens.analyze ~plans:Queries.tpch_plans Queries.q1 (Lazy.force tpch))
+  in
+  let rng = Prng.create 7 in
+  Test.make ~name:"table2/q1_tsensdp_release"
+    (Staged.stage (fun () ->
+         Mechanism.run_with_analysis rng
+           (Mechanism.default_config ~ell:100 ~private_relation:"Customer")
+           (Lazy.force analysis)))
+
+let test_param_ell_svt =
+  let rng = Prng.create 9 in
+  Test.make ~name:"param_ell/svt_1000_queries"
+    (Staged.stage (fun () ->
+         Svt.above_threshold rng ~epsilon:1.0 ~sensitivity:1.0 ~threshold:0.0
+           ~queries:(fun i -> float_of_int i -. 999.5)
+           ~count:1000))
+
+let test_kernel_join =
+  let left =
+    lazy (Database.find "Orders" (Lazy.force tpch))
+  in
+  let right = lazy (Database.find "Customer" (Lazy.force tpch)) in
+  Test.make ~name:"kernel/natural_join_orders_customer"
+    (Staged.stage (fun () ->
+         Join.natural_join (Lazy.force left) (Lazy.force right)))
+
+let test_kernel_gyo =
+  Test.make ~name:"kernel/gyo_q3"
+    (Staged.stage (fun () -> Gyo.decompose Queries.q3))
+
+let test_kernel_laplace =
+  let rng = Prng.create 3 in
+  Test.make ~name:"kernel/laplace_sample"
+    (Staged.stage (fun () -> Laplace.sample rng ~scale:1.0))
+
+let tests =
+  Test.make_grouped ~name:"tsens"
+    [
+      test_fig6a_q1_tsens;
+      test_fig6a_q2_tsens;
+      test_fig6a_q3_tsens;
+      test_fig6a_elastic;
+      test_fig7_eval;
+      test_table1_q4;
+      test_table1_qw_path;
+      test_table2_tsensdp;
+      test_param_ell_svt;
+      test_kernel_join;
+      test_kernel_gyo;
+      test_kernel_laplace;
+    ]
+
+let run () =
+  Bench_util.print_heading "Bechamel micro-benchmarks (monotonic clock)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> Bench_util.seconds_to_string (e /. 1e9)
+          | Some [] | None -> "n/a"
+        in
+        [ name; estimate ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Bench_util.print_table ~columns:[ "benchmark"; "time/run" ] rows

@@ -1,0 +1,337 @@
+(* tsens — command-line front end.
+
+   Sub-commands:
+     classify     print a query's structural class, join tree and GHD
+     sensitivity  local sensitivity of a query over CSV relations
+     generate     write a synthetic TPC-H or ego-network instance as CSVs
+     dp           differentially private counting-query release (TSensDP)
+
+   Queries are given in datalog syntax, either inline or in a file:
+     Q( * ) :- R1(A,B), R2(B,C).   [a head of * lists all variables]
+   Each relation R is loaded from <data-dir>/R.csv (header row with the
+   attribute names plus a trailing cnt column). *)
+
+open Cmdliner
+open Tsens_relational
+open Tsens_query
+open Tsens_sensitivity
+open Tsens_dp
+open Tsens_workload
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments and loading *)
+
+let query_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"QUERY"
+        ~doc:
+          "The conjunctive query in datalog syntax, or a path to a file \
+           containing it.")
+
+let data_dir_arg =
+  Arg.(
+    required
+    & opt (some dir) None
+    & info [ "d"; "data" ] ~docv:"DIR"
+        ~doc:"Directory holding one <relation>.csv file per atom.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let sql_flag =
+  Arg.(
+    value & flag
+    & info [ "sql" ]
+        ~doc:
+          "Interpret the query as SQL (SELECT COUNT( * ) FROM ... WHERE \
+           ...) instead of datalog; requires --data for the catalog.")
+
+let query_text spec =
+  if Sys.file_exists spec then
+    In_channel.with_open_text spec In_channel.input_all
+  else spec
+
+let load_query spec = Parser.parse_full (query_text spec)
+
+let catalog_of_dir dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".csv")
+  |> List.sort String.compare
+  |> List.map (fun f ->
+         ( Filename.remove_extension f,
+           Schema.attrs
+             (Relation.schema (Csv.read_file (Filename.concat dir f))) ))
+
+let load_database cq dir =
+  let load name =
+    let path = Filename.concat dir (name ^ ".csv") in
+    if not (Sys.file_exists path) then
+      Errors.data_errorf "no CSV file for relation %s (expected %s)" name path;
+    (name, Csv.read_file path)
+  in
+  Database.of_list (List.map load (Cq.relation_names cq))
+
+let handle_errors f =
+  try f (); 0 with
+  | Errors.Schema_error m | Errors.Data_error m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+  | Parser.Parse_error m | Sql.Sql_error m ->
+      Printf.eprintf "parse error: %s\n" m;
+      1
+  | Invalid_argument m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+
+(* Query + constraints + matching database, from either surface syntax. *)
+let prepare ~sql query data =
+  if sql then begin
+    let t = Sql.translate ~catalog:(catalog_of_dir data) (query_text query) in
+    let db = Sql.bind t (load_database t.Sql.query data) in
+    (t.Sql.query, t.Sql.constraints, db)
+  end
+  else begin
+    let cq, constraints = load_query query in
+    (cq, constraints, load_database cq data)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* classify *)
+
+let run_classify query sql data =
+  handle_errors (fun () ->
+      let cq, constraints =
+        if sql then begin
+          match data with
+          | Some dir ->
+              let t =
+                Sql.translate ~catalog:(catalog_of_dir dir) (query_text query)
+              in
+              (t.Sql.query, t.Sql.constraints)
+          | None ->
+              raise (Sql.Sql_error "--sql classification needs --data for the catalog")
+        end
+        else load_query query
+      in
+      Format.printf "query: %a@." Cq.pp cq;
+      if constraints <> [] then
+        Format.printf "selections: %a@." Constraints.pp_list constraints;
+      Format.printf "atoms: %d, variables: %d@." (Cq.atom_count cq)
+        (Cq.var_count cq);
+      Format.printf "shape: %a@." Classify.pp_shape (Classify.classify cq);
+      List.iteri
+        (fun i component ->
+          Format.printf "component %d: %s@." (i + 1)
+            (String.concat ", " (Cq.relation_names component));
+          match Join_tree.of_cq component with
+          | Some jt ->
+              Format.printf "  join tree: %a (max degree %d)@." Join_tree.pp
+                jt
+                (Join_tree.max_degree jt)
+          | None ->
+              let ghd = Ghd.auto component in
+              Format.printf "  cyclic; auto GHD: %a@." Ghd.pp ghd)
+        (Cq.components cq))
+
+let classify_cmd =
+  let optional_data =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "d"; "data" ] ~docv:"DIR"
+          ~doc:"CSV directory (only needed with --sql).")
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Print a query's structural classification.")
+    Term.(const run_classify $ query_arg $ sql_flag $ optional_data)
+
+(* ------------------------------------------------------------------ *)
+(* sensitivity *)
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt (enum [ ("tsens", `Tsens); ("path", `Path); ("elastic", `Elastic);
+                  ("naive", `Naive); ("topk", `Topk) ])
+        `Tsens
+    & info [ "a"; "algorithm" ] ~docv:"ALGO"
+        ~doc:
+          "One of tsens (default), path (Algorithm 1, path queries only), \
+           elastic (the Flex upper bound), naive (exhaustive oracle, small \
+           data only), topk (the top-k upper bound).")
+
+let k_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "k" ] ~docv:"K" ~doc:"Table size for --algorithm topk.")
+
+let tables_flag =
+  Arg.(
+    value & flag
+    & info [ "tables" ] ~doc:"Also print every multiplicity table.")
+
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"Print intermediate topjoin/botjoin and table sizes.")
+
+let run_sensitivity query data algorithm k tables explain sql =
+  handle_errors (fun () ->
+      let cq, constraints, db = prepare ~sql query data in
+      let selection = Constraints.selection constraints in
+      let need_selection_support name =
+        if selection <> None then
+          Errors.schema_errorf
+            "algorithm %s does not support selection constraints; use tsens              or naive" name
+      in
+      let result =
+        match algorithm with
+        | `Tsens -> Tsens.local_sensitivity ?selection cq db
+        | `Path ->
+            need_selection_support "path";
+            Path_sens.local_sensitivity cq db
+        | `Elastic ->
+            need_selection_support "elastic";
+            Elastic.local_sensitivity cq db
+        | `Naive -> Naive.local_sensitivity ?selection cq db
+        | `Topk ->
+            need_selection_support "topk";
+            Approx.local_sensitivity ~k cq db
+      in
+      Format.printf "%a@." Sens_types.pp_result result;
+      if explain then begin
+        let analysis = Tsens.analyze ?selection cq db in
+        Format.printf "@.%a@." Tsens.pp_statistics analysis
+      end;
+      if tables then begin
+        let analysis = Tsens.analyze ?selection cq db in
+        List.iter
+          (fun r ->
+            Format.printf "@.multiplicity table of %s:@.%a@." r Relation.pp
+              (Tsens.multiplicity_table analysis r))
+          (Cq.relation_names cq)
+      end)
+
+let sensitivity_cmd =
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Local sensitivity of a counting query over CSV relations.")
+    Term.(
+      const run_sensitivity $ query_arg $ data_dir_arg $ algorithm_arg $ k_arg
+      $ tables_flag $ explain_flag $ sql_flag)
+
+(* ------------------------------------------------------------------ *)
+(* generate *)
+
+let out_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory (created).")
+
+let run_generate kind scale nodes edges circles out seed =
+  handle_errors (fun () ->
+      if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+      let db =
+        match kind with
+        | `Tpch -> Tpch.generate ~seed ~scale ()
+        | `Facebook ->
+            let data =
+              Facebook.generate { Facebook.nodes; edges; circles; seed }
+            in
+            (* Write the four edge tables with generic column names plus
+               the triangle table; queries rename columns as needed. *)
+            Database.of_list
+              (( "Triangles",
+                 Facebook.triangle_relation data ~a:"X" ~b:"Y" ~c:"Z" )
+              :: List.init 4 (fun i ->
+                     ( Printf.sprintf "R%d" (i + 1),
+                       Facebook.edge_relation data i ~x:"X" ~y:"Y" )))
+      in
+      Database.fold
+        (fun name rel () ->
+          let path = Filename.concat out (name ^ ".csv") in
+          Csv.write_file path rel;
+          Format.printf "wrote %s (%a)@." path Relation.pp_summary rel)
+        db ())
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("tpch", `Tpch); ("facebook", `Facebook) ]) `Tpch
+      & info [ "kind" ] ~docv:"KIND" ~doc:"tpch (default) or facebook.")
+  in
+  let scale =
+    Arg.(value & opt float 0.001 & info [ "scale" ] ~doc:"TPC-H scale.")
+  in
+  let nodes =
+    Arg.(value & opt int 225 & info [ "nodes" ] ~doc:"Ego-network nodes.")
+  in
+  let edges =
+    Arg.(value & opt int 6400 & info [ "edges" ] ~doc:"Ego-network edges.")
+  in
+  let circles =
+    Arg.(value & opt int 567 & info [ "circles" ] ~doc:"Ego-network circles.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Write a synthetic instance as CSV files.")
+    Term.(
+      const run_generate $ kind $ scale $ nodes $ edges $ circles $ out_dir_arg
+      $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dp *)
+
+let run_dp query data private_relation epsilon ell seed sql =
+  handle_errors (fun () ->
+      let cq, constraints, db = prepare ~sql query data in
+      let selection = Constraints.selection constraints in
+      let analysis = Tsens.analyze ?selection cq db in
+      let config =
+        {
+          (Mechanism.default_config ~ell ~private_relation) with
+          Mechanism.epsilon;
+        }
+      in
+      let rng = Prng.create seed in
+      let report = Mechanism.run_with_analysis rng config analysis in
+      Format.printf "released answer: %.1f@." (Report.released report);
+      Format.printf "%a@." Report.pp report)
+
+let dp_cmd =
+  let private_rel =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "private" ] ~docv:"RELATION"
+          ~doc:"The primary private relation.")
+  in
+  let epsilon =
+    Arg.(value & opt float 1.0 & info [ "epsilon" ] ~doc:"Privacy budget.")
+  in
+  let ell =
+    Arg.(
+      value & opt int 100
+      & info [ "ell" ] ~doc:"Public upper bound on tuple sensitivity.")
+  in
+  Cmd.v
+    (Cmd.info "dp"
+       ~doc:"Release the counting query's answer with TSensDP (epsilon-DP).")
+    Term.(
+      const run_dp $ query_arg $ data_dir_arg $ private_rel $ epsilon $ ell
+      $ seed_arg $ sql_flag)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "tsens"
+      ~doc:
+        "Local sensitivities of counting queries with joins (SIGMOD 2020), \
+         and truncation-based differentially private releases."
+  in
+  exit (Cmd.eval' (Cmd.group info [ classify_cmd; sensitivity_cmd; generate_cmd; dp_cmd ]))

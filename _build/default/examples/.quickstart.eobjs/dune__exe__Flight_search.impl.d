@@ -1,0 +1,1 @@
+examples/flight_search.ml: Count Database Format List Parser Path_sens Relation Schema Sens_types Tsens Tsens_query Tsens_relational Tsens_sensitivity Tuple Value Yannakakis

@@ -1,0 +1,1 @@
+examples/private_analytics.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Classify Count Cq Database Format List Parser Relation Schema Sens_types Tsens Tsens_query Tsens_relational Tsens_sensitivity Tuple Value

@@ -1,0 +1,1 @@
+examples/sat_solver.ml: Array Bool Char Classify Count Cq Database Format List Prng Sat_reduction Sens_types Tsens Tsens_query Tsens_relational Tsens_sensitivity Tsens_workload

@@ -1,0 +1,1 @@
+examples/social_triangles.ml: Count Elastic Facebook Format Mechanism Prng Queries Report Sens_types Tsens Tsens_dp Tsens_relational Tsens_sensitivity Tsens_workload Tuple

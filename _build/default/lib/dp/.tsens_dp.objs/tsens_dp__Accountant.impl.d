@@ -1,0 +1,1 @@
+lib/dp/accountant.ml: Float Format

@@ -1,0 +1,1 @@
+lib/dp/accountant.mli: Format

@@ -1,0 +1,1 @@
+lib/dp/laplace.ml: Float Prng Tsens_relational

@@ -1,0 +1,1 @@
+lib/dp/laplace.mli: Prng Tsens_relational

@@ -1,0 +1,1 @@
+lib/dp/mechanism.ml: Laplace Report Svt Truncation Tsens Tsens_sensitivity

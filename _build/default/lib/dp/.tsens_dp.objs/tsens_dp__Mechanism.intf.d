@@ -1,0 +1,1 @@
+lib/dp/mechanism.mli: Cq Database Ghd Prng Report Tsens Tsens_query Tsens_relational Tsens_sensitivity

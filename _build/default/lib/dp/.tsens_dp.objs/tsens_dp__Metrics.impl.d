@@ -1,0 +1,1 @@
+lib/dp/metrics.ml: Float Format List Report Unix

@@ -1,0 +1,1 @@
+lib/dp/metrics.mli: Format Report

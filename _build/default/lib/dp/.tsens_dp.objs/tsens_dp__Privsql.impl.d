@@ -1,0 +1,1 @@
+lib/dp/privsql.ml: Array Attr Count Cq Database Elastic Errors Index Laplace List Relation Report Schema Svt Tsens_query Tsens_relational Tsens_sensitivity Tuple Yannakakis

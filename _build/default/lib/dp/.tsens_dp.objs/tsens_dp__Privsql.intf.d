@@ -1,0 +1,1 @@
+lib/dp/privsql.mli: Attr Cq Database Ghd Prng Report Tsens_query Tsens_relational

@@ -1,0 +1,1 @@
+lib/dp/report.ml: Float Format

@@ -1,0 +1,1 @@
+lib/dp/svt.ml: Laplace

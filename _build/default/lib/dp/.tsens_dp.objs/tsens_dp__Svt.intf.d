@@ -1,0 +1,1 @@
+lib/dp/svt.mli: Prng Tsens_relational

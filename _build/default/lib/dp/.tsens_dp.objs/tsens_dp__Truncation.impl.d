@@ -1,0 +1,1 @@
+lib/dp/truncation.ml: Array Count Database Relation Tsens Tsens_relational Tsens_sensitivity

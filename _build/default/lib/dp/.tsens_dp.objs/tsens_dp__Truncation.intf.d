@@ -1,0 +1,1 @@
+lib/dp/truncation.mli: Count Database Tsens Tsens_relational Tsens_sensitivity

@@ -1,0 +1,27 @@
+type t = { total : float; mutable used : float }
+
+exception Budget_exhausted of { requested : float; remaining : float }
+
+let tolerance = 1e-9
+
+let create ~epsilon =
+  if epsilon <= 0.0 then invalid_arg "Accountant.create: non-positive budget";
+  { total = epsilon; used = 0.0 }
+
+let total t = t.total
+let spent t = t.used
+let remaining t = Float.max 0.0 (t.total -. t.used)
+
+let spend t epsilon =
+  if epsilon <= 0.0 then invalid_arg "Accountant.spend: non-positive epsilon";
+  if epsilon > remaining t +. tolerance then
+    raise (Budget_exhausted { requested = epsilon; remaining = remaining t });
+  t.used <- t.used +. epsilon
+
+let charge t ~epsilon f =
+  spend t epsilon;
+  f ()
+
+let pp ppf t =
+  Format.fprintf ppf "spent %.4f of %.4f (%.4f remaining)" t.used t.total
+    (remaining t)

@@ -1,0 +1,30 @@
+(** Sequential-composition budget accounting.
+
+    Pure ε-differential privacy composes additively: releasing results of
+    an ε₁-DP and an ε₂-DP computation on the same database is
+    (ε₁+ε₂)-DP. An accountant tracks a total budget across releases —
+    e.g. answering several counting queries over one private table — and
+    refuses to exceed it, turning silent over-spending into a loud
+    error. *)
+
+type t
+
+exception Budget_exhausted of { requested : float; remaining : float }
+
+val create : epsilon:float -> t
+(** A fresh budget. Raises [Invalid_argument] if [epsilon <= 0]. *)
+
+val total : t -> float
+val spent : t -> float
+val remaining : t -> float
+
+val spend : t -> float -> unit
+(** Consumes part of the budget. Raises {!Budget_exhausted} (spending
+    nothing) if the request exceeds what remains, [Invalid_argument] if
+    it is not positive. A tolerance of 1e-9 absorbs float rounding. *)
+
+val charge : t -> epsilon:float -> (unit -> 'a) -> 'a
+(** [charge t ~epsilon f] spends, then runs [f] — the budget is consumed
+    even if [f] raises (the release may have partially happened). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+open Tsens_relational
+
+let sample rng ~scale =
+  if scale <= 0.0 then invalid_arg "Laplace.sample: non-positive scale";
+  (* Inverse CDF: u uniform on (-1/2, 1/2); x = -b sgn(u) ln(1 - 2|u|). *)
+  let u = Prng.uniform rng -. 0.5 in
+  let sign = if u < 0.0 then -1.0 else 1.0 in
+  -.scale *. sign *. log (1.0 -. (2.0 *. Float.abs u))
+
+let mechanism rng ~epsilon ~sensitivity x =
+  if epsilon <= 0.0 then invalid_arg "Laplace.mechanism: non-positive epsilon";
+  if sensitivity < 0.0 then
+    invalid_arg "Laplace.mechanism: negative sensitivity";
+  if sensitivity = 0.0 then x
+  else x +. sample rng ~scale:(sensitivity /. epsilon)
+
+let variance ~epsilon ~sensitivity =
+  let b = sensitivity /. epsilon in
+  2.0 *. b *. b

@@ -1,0 +1,25 @@
+(** The Laplace mechanism (paper Definition 6.3).
+
+    Adds noise drawn from Lap(GS(Q)/ε) to a numeric query answer,
+    guaranteeing ε-differential privacy for a query of global sensitivity
+    GS(Q). Randomness comes from the repository's deterministic
+    {!Tsens_relational.Prng} so experiments are reproducible; this is a
+    research simulation, not a hardened implementation (no defence
+    against floating-point side channels). *)
+
+open Tsens_relational
+
+val sample : Prng.t -> scale:float -> float
+(** A draw from the zero-mean Laplace distribution with the given scale
+    (inverse-CDF sampling). Raises [Invalid_argument] if
+    [scale <= 0]. *)
+
+val mechanism :
+  Prng.t -> epsilon:float -> sensitivity:float -> float -> float
+(** [mechanism rng ~epsilon ~sensitivity x] is [x + Lap(sensitivity /
+    epsilon)]. Raises [Invalid_argument] on non-positive [epsilon] or
+    negative [sensitivity]; a zero-sensitivity query is returned
+    exactly. *)
+
+val variance : epsilon:float -> sensitivity:float -> float
+(** The noise variance 2·(GS/ε)², for error budgeting. *)

@@ -1,0 +1,65 @@
+open Tsens_sensitivity
+
+type config = {
+  epsilon : float;
+  threshold_fraction : float;
+  ell : int;
+  private_relation : string;
+}
+
+let default_config ~ell ~private_relation =
+  { epsilon = 1.0; threshold_fraction = 0.5; ell; private_relation }
+
+let validate config =
+  if config.epsilon <= 0.0 then invalid_arg "TsensDp: non-positive epsilon";
+  if config.threshold_fraction <= 0.0 || config.threshold_fraction >= 1.0 then
+    invalid_arg "TsensDp: threshold_fraction must be in (0, 1)";
+  if config.ell < 1 then invalid_arg "TsensDp: ell must be at least 1"
+
+let run_with_analysis rng config analysis =
+  validate config;
+  let profile = Truncation.profile analysis config.private_relation in
+  let epsilon_threshold = config.epsilon *. config.threshold_fraction in
+  let epsilon_answer = config.epsilon -. epsilon_threshold in
+  (* Half the threshold budget releases Q̂, half drives the SVT. *)
+  let epsilon_qhat = epsilon_threshold /. 2.0 in
+  let epsilon_svt = epsilon_threshold /. 2.0 in
+  let answer_at i = float_of_int (Truncation.truncated_answer profile i) in
+  let qhat =
+    Laplace.mechanism rng ~epsilon:epsilon_qhat
+      ~sensitivity:(float_of_int config.ell)
+      (answer_at config.ell)
+  in
+  (* q_i = (Q(T(D,i)) − Q̂)/i has global sensitivity 1: stop as soon as the
+     truncated answer noisily reaches Q̂. *)
+  let threshold =
+    match
+      Svt.above_threshold rng ~epsilon:epsilon_svt ~sensitivity:1.0
+        ~threshold:0.0
+        ~queries:(fun j ->
+          let i = j + 1 in
+          (answer_at i -. qhat) /. float_of_int i)
+        ~count:(config.ell - 1)
+    with
+    | Some j -> j + 1
+    | None -> config.ell
+  in
+  let truncated_answer = answer_at threshold in
+  let noisy_answer =
+    Laplace.mechanism rng ~epsilon:epsilon_answer
+      ~sensitivity:(float_of_int threshold) truncated_answer
+  in
+  {
+    Report.noisy_answer;
+    truncated_answer;
+    true_answer = float_of_int (Tsens.output_size analysis);
+    global_sensitivity = float_of_int threshold;
+    threshold;
+    epsilon = config.epsilon;
+    epsilon_threshold;
+  }
+
+let run rng config ?plans cq db =
+  validate config;
+  let analysis = Tsens.analyze ?plans cq db in
+  run_with_analysis rng config analysis

@@ -1,0 +1,36 @@
+(** TSensDP — the truncation-based DP mechanism of Section 6.2.
+
+    Given a public upper bound ℓ on tuple sensitivity and a primary
+    private relation PR, the mechanism (i) releases a Laplace-noised
+    answer Q̂ of the ℓ-truncated query, (ii) runs the sparse vector
+    technique over the queries q_i = (Q(T_TSens(D,i)) − Q̂)/i, each of
+    global sensitivity 1, to learn a truncation threshold τ close to the
+    local sensitivity, and (iii) releases Q(T_TSens(D,τ)) + Lap(τ/ε₂)
+    with the remaining budget. The whole mechanism is ε-DP
+    (Theorem 6.1). *)
+
+open Tsens_relational
+open Tsens_query
+open Tsens_sensitivity
+
+type config = {
+  epsilon : float;  (** total privacy budget, > 0 *)
+  threshold_fraction : float;
+      (** share of ε spent on Q̂ + SVT (the paper's ε_tsens); the paper's
+          experiments use 0.5. Must be in (0, 1). *)
+  ell : int;  (** public upper bound ℓ on tuple sensitivity, ≥ 1 *)
+  private_relation : string;
+}
+
+val default_config : ell:int -> private_relation:string -> config
+(** ε = 1.0, threshold_fraction = 0.5 — the paper's setup. *)
+
+val run :
+  Prng.t -> config -> ?plans:Ghd.t list -> Cq.t -> Database.t -> Report.t
+(** Raises [Invalid_argument] on out-of-range configuration,
+    {!Errors.Schema_error} if the private relation is not in the
+    query. *)
+
+val run_with_analysis : Prng.t -> config -> Tsens.analysis -> Report.t
+(** Like {!run} on a precomputed analysis — lets repeated trials (the
+    paper reports medians over 20 runs) share the sensitivity DP. *)

@@ -1,0 +1,46 @@
+type trial = { report : Report.t; seconds : float }
+
+type summary = {
+  runs : int;
+  median_error : float;
+  median_bias : float;
+  median_global_sensitivity : float;
+  median_threshold : float;
+  mean_seconds : float;
+}
+
+let median = function
+  | [] -> invalid_arg "Metrics.median: empty list"
+  | xs ->
+      let sorted = List.sort Float.compare xs in
+      List.nth sorted ((List.length sorted - 1) / 2)
+
+let mean = function
+  | [] -> invalid_arg "Metrics.mean: empty list"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let summarize = function
+  | [] -> invalid_arg "Metrics.summarize: no trials"
+  | trials ->
+      let map f = List.map f trials in
+      {
+        runs = List.length trials;
+        median_error = median (map (fun t -> Report.relative_error t.report));
+        median_bias = median (map (fun t -> Report.relative_bias t.report));
+        median_global_sensitivity =
+          median (map (fun t -> t.report.Report.global_sensitivity));
+        median_threshold =
+          median (map (fun t -> float_of_int t.report.Report.threshold));
+        mean_seconds = mean (map (fun t -> t.seconds));
+      }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "error %.2f%%  bias %.2f%%  GS %.0f  tau %.0f  time %.3fs (%d runs)"
+    (100.0 *. s.median_error) (100.0 *. s.median_bias)
+    s.median_global_sensitivity s.median_threshold s.mean_seconds s.runs

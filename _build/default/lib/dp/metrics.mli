@@ -1,0 +1,28 @@
+(** Aggregation of repeated DP trials into the paper's Table 2 rows
+    (medians of relative error / bias / global sensitivity over 20 runs,
+    mean wall-clock time). *)
+
+type trial = { report : Report.t; seconds : float }
+
+type summary = {
+  runs : int;
+  median_error : float;
+  median_bias : float;
+  median_global_sensitivity : float;
+  median_threshold : float;
+  mean_seconds : float;
+}
+
+val median : float list -> float
+(** Lower median of a non-empty list. Raises [Invalid_argument] on []. *)
+
+val mean : float list -> float
+(** Raises [Invalid_argument] on []. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Wall-clock seconds of a thunk. *)
+
+val summarize : trial list -> summary
+(** Raises [Invalid_argument] on []. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,42 @@
+(** A PrivSQL-style baseline (Kotsogiannis et al., VLDB 2019), as the
+    paper's Section 7.3 configures it.
+
+    PrivSQL truncates by *join-key frequency* rather than by tuple
+    sensitivity: for each relation downstream of the primary private
+    relation through foreign keys (the "policy"), it privately learns a
+    frequency cap with the sparse vector technique and drops every tuple
+    whose join-key group exceeds the cap. The global sensitivity of the
+    truncated query is then derived from frequency bounds — here via the
+    elastic-sensitivity recurrence on the truncated database, which is
+    exactly a frequency-product bound. Datasets without foreign keys (the
+    Facebook queries) get no truncation at all, hence zero bias but a
+    large global sensitivity — reproducing the paper's observation that
+    PrivSQL either over-truncates (q2) or over-estimates sensitivity
+    (q3, the 4-cycle, the star query). *)
+
+open Tsens_relational
+open Tsens_query
+
+type config = {
+  epsilon : float;  (** total privacy budget *)
+  threshold_fraction : float;  (** share of ε for threshold learning *)
+  ell : int;  (** public upper bound on any join-key frequency *)
+  private_relation : string;
+  cascade : (string * Attr.t) list;
+      (** downstream relations and the foreign-key attribute through
+          which deletions cascade, e.g.
+          [[("Orders", "custkey"); ("Lineitem", "orderkey")]]; empty for
+          datasets without foreign keys. *)
+}
+
+val default_config :
+  ell:int ->
+  private_relation:string ->
+  cascade:(string * Attr.t) list ->
+  config
+
+val run :
+  Prng.t -> config -> ?plans:Ghd.t list -> Cq.t -> Database.t -> Report.t
+(** Raises [Invalid_argument] on bad configuration,
+    {!Errors.Schema_error} if a cascade relation or attribute is not in
+    the query. *)

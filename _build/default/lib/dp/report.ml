@@ -1,0 +1,27 @@
+type t = {
+  noisy_answer : float;
+  truncated_answer : float;
+  true_answer : float;
+  global_sensitivity : float;
+  threshold : int;
+  epsilon : float;
+  epsilon_threshold : float;
+}
+
+let released r = Float.max 0.0 r.noisy_answer
+
+let relative_to truth x =
+  if truth = 0.0 then Float.abs x else Float.abs (x -. truth) /. truth
+
+let relative_error r = relative_to r.true_answer (released r)
+let relative_bias r = relative_to r.true_answer r.truncated_answer
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>released: %.1f (true %.1f, truncated %.1f)@,\
+     error: %.2f%%  bias: %.2f%%@,\
+     GS: %.1f  tau: %d  epsilon: %.3f (%.3f on threshold)@]"
+    (released r) r.true_answer r.truncated_answer
+    (100.0 *. relative_error r)
+    (100.0 *. relative_bias r)
+    r.global_sensitivity r.threshold r.epsilon r.epsilon_threshold

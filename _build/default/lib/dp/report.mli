@@ -1,0 +1,31 @@
+(** Outcome of one differentially private query release.
+
+    Carries the released value together with evaluation-only ground truth
+    (the paper's Table 2 columns: relative error, relative bias, global
+    sensitivity, time). The ground-truth fields obviously must not be
+    published in a real deployment. *)
+
+type t = {
+  noisy_answer : float;  (** the ε-DP release, before clipping *)
+  truncated_answer : float;
+      (** exact answer on the truncated database (bias source) *)
+  true_answer : float;  (** exact |Q(D)| — evaluation only *)
+  global_sensitivity : float;
+      (** sensitivity used for the final Laplace release *)
+  threshold : int;  (** the learned truncation threshold τ *)
+  epsilon : float;  (** total privacy budget consumed *)
+  epsilon_threshold : float;  (** share spent learning the threshold *)
+}
+
+val released : t -> float
+(** The published value: the noisy answer clipped below at 0 (counting
+    queries are non-negative; the paper does the same). *)
+
+val relative_error : t -> float
+(** |released − true| / true; falls back to the absolute error when the
+    true answer is 0. *)
+
+val relative_bias : t -> float
+(** |truncated − true| / true — the deterministic part of the error. *)
+
+val pp : Format.formatter -> t -> unit

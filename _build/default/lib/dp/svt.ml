@@ -1,0 +1,18 @@
+
+let above_threshold rng ~epsilon ~sensitivity ~threshold ~queries ~count =
+  if epsilon <= 0.0 then invalid_arg "Svt.above_threshold: non-positive epsilon";
+  if sensitivity <= 0.0 then
+    invalid_arg "Svt.above_threshold: non-positive sensitivity";
+  if count < 0 then invalid_arg "Svt.above_threshold: negative count";
+  let noisy_threshold =
+    threshold +. Laplace.sample rng ~scale:(2.0 *. sensitivity /. epsilon)
+  in
+  let rec loop i =
+    if i >= count then None
+    else
+      let noisy =
+        queries i +. Laplace.sample rng ~scale:(4.0 *. sensitivity /. epsilon)
+      in
+      if noisy >= noisy_threshold then Some i else loop (i + 1)
+  in
+  loop 0

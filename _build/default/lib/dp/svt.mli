@@ -1,0 +1,24 @@
+(** The sparse vector technique (AboveThreshold).
+
+    Given a stream of queries of sensitivity Δ and a public threshold,
+    reports the index of the first query whose noisy value exceeds the
+    noisy threshold, consuming a fixed ε regardless of how many queries
+    are inspected (Lyu, Su, Li 2017, Algorithm 1). Both TSensDP and the
+    PrivSQL baseline use it to learn truncation thresholds (paper
+    Section 6.2). *)
+
+open Tsens_relational
+
+val above_threshold :
+  Prng.t ->
+  epsilon:float ->
+  sensitivity:float ->
+  threshold:float ->
+  queries:(int -> float) ->
+  count:int ->
+  int option
+(** [above_threshold rng ~epsilon ~sensitivity ~threshold ~queries ~count]
+    evaluates [queries 0 .. queries (count-1)] in order and returns the
+    first index whose Lap(4Δ/ε)-noised value reaches the Lap(2Δ/ε)-noised
+    threshold, or [None] if none does. Raises [Invalid_argument] on
+    non-positive [epsilon], [sensitivity], or negative [count]. *)

@@ -1,0 +1,1 @@
+lib/query/classify.ml: Cq Format Gyo Join_tree List Schema String Tsens_relational

@@ -1,0 +1,1 @@
+lib/query/classify.mli: Cq Format Join_tree

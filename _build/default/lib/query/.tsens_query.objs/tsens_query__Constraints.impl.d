@@ -1,0 +1,1 @@
+lib/query/constraints.ml: Attr Cq Errors Format List Schema Tsens_relational Tuple Value

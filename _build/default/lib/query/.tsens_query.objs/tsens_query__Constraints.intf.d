@@ -1,0 +1,1 @@
+lib/query/constraints.mli: Attr Cq Format Schema Tsens_relational Tuple Value

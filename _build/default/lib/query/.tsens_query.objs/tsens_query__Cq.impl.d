@@ -1,0 +1,1 @@
+lib/query/cq.ml: Attr Database Errors Format Hashtbl List Relation Schema String Tsens_relational

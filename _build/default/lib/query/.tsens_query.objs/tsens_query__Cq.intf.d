@@ -1,0 +1,1 @@
+lib/query/cq.mli: Attr Database Format Relation Schema Tsens_relational

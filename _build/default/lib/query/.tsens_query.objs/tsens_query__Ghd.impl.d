@@ -1,0 +1,1 @@
+lib/query/ghd.ml: Cq Errors Format Gyo Hashtbl Join_tree List Map Schema String Tsens_relational

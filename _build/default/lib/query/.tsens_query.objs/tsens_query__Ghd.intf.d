@@ -1,0 +1,1 @@
+lib/query/ghd.mli: Cq Format Join_tree

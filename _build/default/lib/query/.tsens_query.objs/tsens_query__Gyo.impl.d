@@ -1,0 +1,1 @@
+lib/query/gyo.ml: Cq Errors Format List Schema String Tsens_relational

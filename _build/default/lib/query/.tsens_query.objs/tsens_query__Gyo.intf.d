@@ -1,0 +1,1 @@
+lib/query/gyo.mli: Cq Format

@@ -1,0 +1,1 @@
+lib/query/join_tree.ml: Cq Errors Format Gyo Int List Map Schema String Tsens_relational

@@ -1,0 +1,1 @@
+lib/query/join_tree.mli: Cq Format Schema Tsens_relational

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Constraints Cq Errors Format List Printf String Tsens_relational Value

@@ -1,0 +1,1 @@
+lib/query/sql.ml: Attr Constraints Cq Database Format Hashtbl List Map Option Printf Relation Schema String Tsens_relational Value

@@ -1,0 +1,1 @@
+lib/query/sql.mli: Attr Constraints Cq Database Tsens_relational

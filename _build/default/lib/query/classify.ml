@@ -1,0 +1,112 @@
+open Tsens_relational
+
+type shape =
+  | Path of string list
+  | Doubly_acyclic
+  | Acyclic
+  | Cyclic
+
+(* A path query: atoms chain pairwise on single shared attributes.
+   Attributes local to one atom do not affect the join structure, so the
+   shape test runs on the query projected onto shared attributes (the
+   endpoints of q1-style queries carry extra lonely columns). *)
+let path_order cq =
+  let cq = Cq.project_onto_shared cq in
+  let atoms = Cq.atoms cq in
+  match atoms with
+  | [ a ] -> Some [ a.Cq.relation ]
+  | _ ->
+      let arity_ok =
+        List.for_all (fun a -> Schema.arity a.Cq.schema <= 2) atoms
+      in
+      let vars_ok =
+        List.for_all
+          (fun v -> List.length (Cq.atoms_with cq v) <= 2)
+          (Cq.vars cq)
+      in
+      if not (arity_ok && vars_ok) then None
+      else begin
+        (* Adjacency: atoms sharing exactly one attribute. *)
+        let adjacent a b =
+          (not (String.equal a.Cq.relation b.Cq.relation))
+          && Schema.arity (Schema.inter a.Cq.schema b.Cq.schema) = 1
+        in
+        let neighbors a = List.filter (adjacent a) atoms in
+        let degrees = List.map (fun a -> (a, List.length (neighbors a))) atoms in
+        let endpoints =
+          List.filter_map (fun (a, d) -> if d = 1 then Some a else None) degrees
+        in
+        let internal_ok =
+          List.for_all (fun (_, d) -> d = 1 || d = 2) degrees
+        in
+        if (not internal_ok) || List.length endpoints <> 2 then None
+        else begin
+          (* Walk the chain from the lexicographically smaller endpoint. *)
+          let start =
+            List.fold_left
+              (fun acc a ->
+                if String.compare a.Cq.relation acc.Cq.relation < 0 then a
+                else acc)
+              (List.hd endpoints) endpoints
+          in
+          let rec walk visited current =
+            let next =
+              List.find_opt
+                (fun a ->
+                  not (List.exists (String.equal a.Cq.relation) visited))
+                (neighbors current)
+            in
+            match next with
+            | None -> List.rev visited
+            | Some a -> walk (a.Cq.relation :: visited) a
+          in
+          let order = walk [ start.Cq.relation ] start in
+          if List.length order = List.length atoms then Some order else None
+        end
+      end
+
+let is_doubly_acyclic jt =
+  List.for_all
+    (fun node ->
+      let around =
+        (match Join_tree.parent jt node with Some p -> [ p ] | None -> [])
+        @ Join_tree.children jt node
+      in
+      match around with
+      | [] -> true
+      | _ ->
+          let sub =
+            Cq.restrict (Join_tree.cq jt) ~keep:(fun r ->
+                List.exists (String.equal r) around)
+          in
+          Gyo.is_acyclic sub)
+    (Join_tree.nodes jt)
+
+let classify_connected cq =
+  match Join_tree.of_cq cq with
+  | None -> Cyclic
+  | Some jt -> (
+      match path_order cq with
+      | Some order -> Path order
+      | None -> if is_doubly_acyclic jt then Doubly_acyclic else Acyclic)
+
+let classify cq =
+  if Cq.is_connected cq then classify_connected cq
+  else
+    let rank = function
+      | Path _ -> 0
+      | Doubly_acyclic -> 1
+      | Acyclic -> 2
+      | Cyclic -> 3
+    in
+    let shapes = List.map classify_connected (Cq.components cq) in
+    List.fold_left
+      (fun acc s -> if rank s > rank acc then s else acc)
+      (List.hd shapes) shapes
+
+let pp_shape ppf = function
+  | Path order ->
+      Format.fprintf ppf "path (%s)" (String.concat " - " order)
+  | Doubly_acyclic -> Format.pp_print_string ppf "doubly acyclic"
+  | Acyclic -> Format.pp_print_string ppf "acyclic"
+  | Cyclic -> Format.pp_print_string ppf "cyclic"

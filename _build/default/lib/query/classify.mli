@@ -1,0 +1,31 @@
+(** Structural classification of conjunctive queries.
+
+    The paper's complexity landscape: path queries admit the O(n log n)
+    Algorithm 1; doubly acyclic queries keep the join-tree DP at
+    O(m n log n); general acyclic queries cost O(m d n^d log n) with d the
+    join-tree degree; everything else goes through a GHD. *)
+
+type shape =
+  | Path of string list
+      (** atoms in path order, first endpoint first *)
+  | Doubly_acyclic
+  | Acyclic
+  | Cyclic
+
+val path_order : Cq.t -> string list option
+(** [Some order] iff the query is a path join query
+    [R1(A0,A1), R2(A1,A2), ..., Rm(Am-1,Am)] (endpoint atoms may have a
+    single attribute; every shared attribute links exactly two adjacent
+    atoms). Of the two direction choices the lexicographically smaller
+    first atom is returned. *)
+
+val is_doubly_acyclic : Join_tree.t -> bool
+(** Paper Section 5.3: for every node, the sub-query made of its parent
+    and children atoms is itself acyclic. Single-atom queries qualify. *)
+
+val classify : Cq.t -> shape
+(** Most specific shape, using the GYO join tree for the doubly-acyclic
+    test. Disconnected queries are classified by their most general
+    component. *)
+
+val pp_shape : Format.formatter -> shape -> unit

@@ -1,0 +1,78 @@
+open Tsens_relational
+
+type op = Eq | Neq | Lt | Le | Gt | Ge
+
+type t = { var : Attr.t; op : op; value : Value.t }
+
+let holds { op; value; _ } v =
+  let c = Value.compare v value in
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let check cq constraints =
+  List.iter
+    (fun { var; _ } ->
+      if Cq.atoms_with cq var = [] then
+        Errors.schema_errorf
+          "constraint on %a, which is not a variable of query %s" Attr.pp var
+          (Cq.name cq))
+    constraints
+
+let selection = function
+  | [] -> None
+  | constraints ->
+      let by_relation _relation schema tuple =
+        List.for_all
+          (fun c ->
+            match Schema.index_opt c.var schema with
+            | None -> true
+            | Some i -> holds c (Tuple.get tuple i))
+          constraints
+      in
+      Some by_relation
+
+let on_attr constraints attr =
+  List.filter (fun c -> Attr.equal c.var attr) constraints
+
+(* Synthesized fallbacks probing around the constraint constants; one of
+   them satisfies any satisfiable conjunction of interval/equality
+   constraints over a totally ordered infinite domain. *)
+let synthesized relevant =
+  List.concat_map
+    (fun c ->
+      match c.value with
+      | Value.Int n -> [ Value.int n; Value.int (n - 1); Value.int (n + 1) ]
+      | Value.Str s -> [ Value.str s; Value.str (s ^ "'"); Value.str "" ]
+      | Value.Bool b -> [ Value.bool b; Value.bool (not b) ])
+    relevant
+  @ [ Value.str "any"; Value.int 0; Value.bool true ]
+
+let satisfying_value constraints attr candidates =
+  match on_attr constraints attr with
+  | [] -> Some (match candidates with v :: _ -> v | [] -> Value.str "any")
+  | relevant ->
+      let admissible v = List.for_all (fun c -> holds c v) relevant in
+      List.find_opt admissible (candidates @ synthesized relevant)
+
+let pp_op ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Eq -> "="
+    | Neq -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">=")
+
+let pp ppf c =
+  Format.fprintf ppf "%a %a %a" Attr.pp c.var pp_op c.op Value.pp c.value
+
+let pp_list ppf cs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp ppf cs

@@ -1,0 +1,40 @@
+(** Selection constraints on query variables.
+
+    The paper's Section 5.4 extends the sensitivity algorithms to
+    selection predicates evaluated per tuple; this module is the concrete
+    predicate language the datalog parser produces: comparisons of one
+    variable against a literal, e.g. [B = 'b1'], [CK != 42], [A < 10].
+    A conjunction of constraints becomes the per-relation selection
+    function the sensitivity engines consume: a tuple of relation R must
+    satisfy every constraint whose variable is one of R's attributes. *)
+
+open Tsens_relational
+
+type op = Eq | Neq | Lt | Le | Gt | Ge
+
+type t = { var : Attr.t; op : op; value : Value.t }
+
+val holds : t -> Value.t -> bool
+(** Comparison via {!Value.compare} (cross-constructor order documented
+    there). *)
+
+val check : Cq.t -> t list -> unit
+(** Every constrained variable must occur in the query. Raises
+    {!Errors.Schema_error} otherwise. *)
+
+val selection :
+  t list -> (string -> Schema.t -> Tuple.t -> bool) option
+(** The conjunction as a selection function; [None] for the empty list
+    (so callers can pass it straight as an optional argument). *)
+
+val satisfying_value : t list -> Attr.t -> Value.t list -> Value.t option
+(** A value for [attr] satisfying all constraints on it: the first
+    admissible candidate, else a synthesized one (the [Eq] constant, a
+    neighbour of an integer bound, or a fresh string). [None] only when
+    the constraints on [attr] are contradictory ([A = 1, A = 2]). Used to
+    extrapolate witness attributes that the multiplicity table does not
+    pin down. *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit

@@ -1,0 +1,157 @@
+open Tsens_relational
+
+type atom = { relation : string; schema : Schema.t }
+type t = { qname : string; atom_list : atom list }
+
+let make ?(name = "Q") atom_specs =
+  if atom_specs = [] then Errors.schema_errorf "CQ %s has no atoms" name;
+  let seen = Hashtbl.create 8 in
+  let atom_list =
+    List.map
+      (fun (relation, attrs) ->
+        if Hashtbl.mem seen relation then
+          Errors.schema_errorf
+            "relation %s appears twice in CQ %s (self-joins are unsupported)"
+            relation name;
+        Hashtbl.add seen relation ();
+        { relation; schema = Schema.of_list attrs })
+      atom_specs
+  in
+  { qname = name; atom_list }
+
+let name q = q.qname
+let atoms q = q.atom_list
+let atom_count q = List.length q.atom_list
+let relation_names q = List.map (fun a -> a.relation) q.atom_list
+
+let schema_of q relation =
+  match List.find_opt (fun a -> String.equal a.relation relation) q.atom_list with
+  | Some a -> a.schema
+  | None -> Errors.schema_errorf "CQ %s has no atom %s" q.qname relation
+
+let mem_relation q relation =
+  List.exists (fun a -> String.equal a.relation relation) q.atom_list
+
+let vars q =
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun a ->
+      List.filter
+        (fun v ->
+          if Hashtbl.mem seen v then false
+          else begin
+            Hashtbl.add seen v ();
+            true
+          end)
+        (Schema.attrs a.schema))
+    q.atom_list
+
+let var_count q = List.length (vars q)
+
+let atoms_with q attr =
+  List.filter_map
+    (fun a -> if Schema.mem attr a.schema then Some a.relation else None)
+    q.atom_list
+
+let shared_vars q = List.filter (fun v -> List.length (atoms_with q v) >= 2) (vars q)
+let lonely_vars q = List.filter (fun v -> List.length (atoms_with q v) = 1) (vars q)
+
+let restrict q ~keep =
+  let atom_list = List.filter (fun a -> keep a.relation) q.atom_list in
+  if atom_list = [] then
+    Errors.schema_errorf "restriction of CQ %s keeps no atom" q.qname;
+  { q with atom_list }
+
+let project_onto_shared q =
+  let lonely = lonely_vars q in
+  let atom_list =
+    List.map
+      (fun a ->
+        let kept =
+          Schema.restrict
+            ~keep:(fun v -> not (List.exists (Attr.equal v) lonely))
+            a.schema
+        in
+        let schema =
+          (* A nullary atom would lose its cardinality information; keep
+             one attribute as a stand-in. *)
+          if Schema.arity kept = 0 then
+            Schema.of_list [ List.hd (Schema.attrs a.schema) ]
+          else kept
+        in
+        { a with schema })
+      q.atom_list
+  in
+  { q with atom_list }
+
+(* Connectivity of the atom graph: atoms adjacent iff schemas intersect. *)
+let component_of q start =
+  let visited = Hashtbl.create 8 in
+  let rec visit relation =
+    if not (Hashtbl.mem visited relation) then begin
+      Hashtbl.add visited relation ();
+      let schema = schema_of q relation in
+      List.iter
+        (fun a ->
+          if not (Schema.disjoint schema a.schema) then visit a.relation)
+        q.atom_list
+    end
+  in
+  visit start;
+  visited
+
+let is_connected q =
+  match q.atom_list with
+  | [] -> true
+  | first :: _ ->
+      Hashtbl.length (component_of q first.relation) = atom_count q
+
+let components q =
+  let remaining = ref (relation_names q) in
+  let result = ref [] in
+  while !remaining <> [] do
+    let start = List.hd !remaining in
+    let comp = component_of q start in
+    result := restrict q ~keep:(Hashtbl.mem comp) :: !result;
+    remaining := List.filter (fun r -> not (Hashtbl.mem comp r)) !remaining
+  done;
+  List.rev !result
+
+let check_database q db =
+  List.iter
+    (fun a ->
+      match Database.find_opt a.relation db with
+      | None ->
+          Errors.schema_errorf "database lacks relation %s required by CQ %s"
+            a.relation q.qname
+      | Some r ->
+          if not (Schema.equal_as_sets (Relation.schema r) a.schema) then
+            Errors.schema_errorf
+              "relation %s has schema %a but CQ %s expects %a" a.relation
+              Schema.pp (Relation.schema r) q.qname Schema.pp a.schema)
+    q.atom_list
+
+let instance q db =
+  check_database q db;
+  List.map
+    (fun a -> (a.relation, Relation.reorder a.schema (Database.find a.relation db)))
+    q.atom_list
+
+let equal a b =
+  String.equal a.qname b.qname
+  && List.length a.atom_list = List.length b.atom_list
+  && List.for_all2
+       (fun x y -> String.equal x.relation y.relation && Schema.equal x.schema y.schema)
+       a.atom_list b.atom_list
+
+let pp ppf q =
+  let pp_atom ppf a =
+    Format.fprintf ppf "%s(%a)" a.relation Attr.pp_list (Schema.attrs a.schema)
+  in
+  Format.fprintf ppf "%s(%a) :- %a." q.qname Attr.pp_list (vars q)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_atom)
+    q.atom_list
+
+let to_string q = Format.asprintf "%a" pp q

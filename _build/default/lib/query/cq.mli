@@ -1,0 +1,78 @@
+(** Full conjunctive queries without self-joins.
+
+    A CQ is a set of atoms [R_i(A_i)] over named relations; the head
+    implicitly contains every variable (the paper's "full CQ"), and bag
+    semantics is fixed by the relational layer. Relations may appear at
+    most once (no self-joins — the paper's standing assumption). Atom
+    order is preserved: the experiments feed specific join plans to both
+    TSens and the elastic baseline. *)
+
+open Tsens_relational
+
+type atom = { relation : string; schema : Schema.t }
+
+type t
+
+val make : ?name:string -> (string * string list) list -> t
+(** [make atoms] builds a CQ from [(relation, attributes)] pairs.
+    Raises {!Errors.Schema_error} if the atom list is empty, a relation
+    name repeats (self-join), or an atom has duplicate attributes. *)
+
+val name : t -> string
+(** The query name, defaulting to ["Q"]. *)
+
+val atoms : t -> atom list
+val atom_count : t -> int
+val relation_names : t -> string list
+
+val schema_of : t -> string -> Schema.t
+(** Schema of one atom. Raises {!Errors.Schema_error} for unknown
+    relations. *)
+
+val mem_relation : t -> string -> bool
+
+val vars : t -> Attr.t list
+(** All attributes, in first-occurrence order. *)
+
+val var_count : t -> int
+
+val atoms_with : t -> Attr.t -> string list
+(** Relations whose atom mentions the attribute, in atom order. *)
+
+val shared_vars : t -> Attr.t list
+(** Attributes occurring in at least two atoms. *)
+
+val lonely_vars : t -> Attr.t list
+(** Attributes occurring in exactly one atom — ignored by the DP and
+    extrapolated in witnesses (paper Section 5.4, "Other"). *)
+
+val restrict : t -> keep:(string -> bool) -> t
+(** Sub-query of the atoms whose relation satisfies [keep]. Raises
+    {!Errors.Schema_error} if no atom remains. *)
+
+val project_onto_shared : t -> t
+(** The same query with each atom's lonely variables removed (atoms that
+    would become nullary keep one variable). Used to normalize before the
+    sensitivity DP. *)
+
+val is_connected : t -> bool
+(** Whether the query hypergraph is connected. *)
+
+val components : t -> t list
+(** Connected components, each as a sub-query; singleton list iff
+    {!is_connected}. *)
+
+val check_database : t -> Database.t -> unit
+(** Checks that every atom's relation exists in the database with exactly
+    the atom's schema (up to column order). Raises {!Errors.Schema_error}
+    otherwise. *)
+
+val instance : t -> Database.t -> (string * Relation.t) list
+(** The atom relations from a database, columns reordered to each atom's
+    schema, in atom order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Datalog rendering: [Q(A, B) :- R1(A), R2(A, B).] *)
+
+val to_string : t -> string

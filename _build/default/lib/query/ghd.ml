@@ -1,0 +1,158 @@
+open Tsens_relational
+module SMap = Map.Make (String)
+
+type t = {
+  original : Cq.t;
+  bag_query : Cq.t;
+  tree : Join_tree.t;
+  member_map : string list SMap.t; (* bag -> atoms *)
+  owner_map : string SMap.t; (* atom -> bag *)
+}
+
+let bag_schema cq member_atoms =
+  List.fold_left
+    (fun acc atom -> Schema.union acc (Cq.schema_of cq atom))
+    Schema.empty member_atoms
+
+let check_partition cq bags =
+  let owner = Hashtbl.create 16 in
+  List.iter
+    (fun (bag, members) ->
+      if members = [] then Errors.schema_errorf "GHD bag %s is empty" bag;
+      List.iter
+        (fun atom ->
+          if not (Cq.mem_relation cq atom) then
+            Errors.schema_errorf "GHD bag %s contains unknown atom %s" bag atom;
+          if Hashtbl.mem owner atom then
+            Errors.schema_errorf "atom %s belongs to two GHD bags" atom;
+          Hashtbl.add owner atom bag)
+        members)
+    bags;
+  List.iter
+    (fun atom ->
+      if not (Hashtbl.mem owner atom) then
+        Errors.schema_errorf "atom %s is in no GHD bag" atom)
+    (Cq.relation_names cq)
+
+let make cq ~bags ~root ~parents =
+  check_partition cq bags;
+  let bag_query =
+    Cq.make
+      ~name:(Cq.name cq ^ "_bags")
+      (List.map
+         (fun (bag, members) ->
+           (bag, Schema.attrs (bag_schema cq members)))
+         bags)
+  in
+  let tree = Join_tree.make bag_query ~root ~parents in
+  let member_map =
+    List.fold_left (fun m (bag, members) -> SMap.add bag members m) SMap.empty bags
+  in
+  let owner_map =
+    List.fold_left
+      (fun m (bag, members) ->
+        List.fold_left (fun m atom -> SMap.add atom bag m) m members)
+      SMap.empty bags
+  in
+  { original = cq; bag_query; tree; member_map; owner_map }
+
+let of_join_tree jt =
+  let cq = Join_tree.cq jt in
+  let bags = List.map (fun r -> (r, [ r ])) (Cq.relation_names cq) in
+  let parents =
+    List.filter_map
+      (fun r ->
+        match Join_tree.parent jt r with
+        | Some p -> Some (r, p)
+        | None -> None)
+      (Join_tree.nodes jt)
+  in
+  make cq ~bags ~root:(Join_tree.root jt) ~parents
+
+(* Greedy merge: the working state is a list of (bag_members, bag_schema);
+   bag-level acyclicity is retested after every merge. *)
+let auto cq =
+  if not (Cq.is_connected cq) then
+    Errors.schema_errorf
+      "Ghd.auto: CQ %s is disconnected; decompose components separately"
+      (Cq.name cq);
+  let initial =
+    List.map (fun a -> ([ a.Cq.relation ], a.Cq.schema)) (Cq.atoms cq)
+  in
+  let bag_name members = String.concat "+" members in
+  let to_bag_cq state =
+    Cq.make
+      ~name:(Cq.name cq ^ "_bags")
+      (List.map
+         (fun (members, schema) -> (bag_name members, Schema.attrs schema))
+         state)
+  in
+  let rec merge_until_acyclic state =
+    if Gyo.is_acyclic (to_bag_cq state) then state
+    else begin
+      (* Best pair = smallest merged schema among attribute-sharing pairs
+         (then most shared attributes, then first in order). Minimizing
+         the union keeps bags narrow: on the 4-cycle this recovers the
+         paper's width-2 decomposition {R1R2, R3R4}. *)
+      let best = ref None in
+      List.iteri
+        (fun i (_, si) ->
+          List.iteri
+            (fun j (_, sj) ->
+              if j > i then begin
+                let shared = Schema.arity (Schema.inter si sj) in
+                let union = Schema.arity (Schema.union si sj) in
+                match !best with
+                | _ when shared = 0 -> ()
+                | Some (_, _, (u, s)) when (u, -s) <= (union, -shared) -> ()
+                | _ -> best := Some (i, j, (union, shared))
+              end)
+            state)
+        state;
+      match !best with
+      | None ->
+          (* Disconnected cyclic residue cannot happen: a cyclic bag-level
+             query always has two bags sharing an attribute. *)
+          assert false
+      | Some (i, j, _) ->
+          let mi, si = List.nth state i and mj, sj = List.nth state j in
+          let merged = (mi @ mj, Schema.union si sj) in
+          let state =
+            merged
+            :: List.filteri (fun k _ -> k <> i && k <> j) state
+          in
+          merge_until_acyclic state
+    end
+  in
+  let state = merge_until_acyclic initial in
+  let bags = List.map (fun (members, _) -> (bag_name members, members)) state in
+  let bag_query = to_bag_cq state in
+  let tree = Join_tree.of_cq_exn bag_query in
+  let parents =
+    List.filter_map
+      (fun b ->
+        match Join_tree.parent tree b with Some p -> Some (b, p) | None -> None)
+      (Join_tree.nodes tree)
+  in
+  make cq ~bags ~root:(Join_tree.root tree) ~parents
+
+let cq g = g.original
+let bag_cq g = g.bag_query
+let bag_tree g = g.tree
+let bag_names g = Cq.relation_names g.bag_query
+
+let members g bag =
+  match SMap.find_opt bag g.member_map with
+  | Some m -> m
+  | None -> Errors.schema_errorf "unknown GHD bag %s" bag
+
+let bag_of g atom =
+  match SMap.find_opt atom g.owner_map with
+  | Some b -> b
+  | None -> Errors.schema_errorf "atom %s is in no GHD bag" atom
+
+let width g =
+  SMap.fold (fun _ m acc -> max acc (List.length m)) g.member_map 0
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>tree: %a@,width: %d@]" Join_tree.pp g.tree (width g)

@@ -1,0 +1,54 @@
+(** Generalized hypertree decompositions (GHDs).
+
+    A GHD groups the atoms of a (possibly cyclic) CQ into *bags*; each
+    atom belongs to exactly one bag (the "join plan" form the paper's
+    Section 5.4 uses), each bag's schema is the union of its members',
+    and the bags form a join tree. The sensitivity DP treats each bag as
+    one super-relation (the join of its members), so an acyclic query is
+    exactly a GHD of width 1. *)
+
+type t
+
+val make :
+  Cq.t ->
+  bags:(string * string list) list ->
+  root:string ->
+  parents:(string * string) list ->
+  t
+(** [make cq ~bags ~root ~parents] builds a GHD with the named bags
+    ([(bag_name, member_atoms)]), rooted bag tree given by [parents]
+    (child bag → parent bag). Validates that bags partition the atoms and
+    that the bag tree satisfies the running intersection property; raises
+    {!Errors.Schema_error} otherwise. *)
+
+val of_join_tree : Join_tree.t -> t
+(** Width-1 GHD: one bag per atom, bag tree = join tree, bag names =
+    atom names. *)
+
+val auto : Cq.t -> t
+(** Heuristic decomposition: starts with one bag per atom and repeatedly
+    merges the pair of connected bags sharing the most attributes until
+    the bag-level query is acyclic. Terminates (a single bag is trivially
+    acyclic); width is not guaranteed minimal. *)
+
+val cq : t -> Cq.t
+(** The original query. *)
+
+val bag_cq : t -> Cq.t
+(** The bag-level query: one atom per bag, schema = union of members. *)
+
+val bag_tree : t -> Join_tree.t
+(** The join tree over {!bag_cq}. *)
+
+val bag_names : t -> string list
+val members : t -> string -> string list
+(** Atoms of a bag. Raises {!Errors.Schema_error} for unknown bags. *)
+
+val bag_of : t -> string -> string
+(** The bag containing an atom. Raises {!Errors.Schema_error} for unknown
+    atoms. *)
+
+val width : t -> int
+(** Maximum number of atoms in any bag. *)
+
+val pp : Format.formatter -> t -> unit

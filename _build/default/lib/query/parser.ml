@@ -1,0 +1,242 @@
+open Tsens_relational
+
+exception Parse_error of string
+
+type token =
+  | Ident of string
+  | IntLit of int
+  | StrLit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Turnstile
+  | Dot
+  | Star
+  | Cmp of Constraints.op
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt in
+  let push t = tokens := t :: !tokens in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' then
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '(' then begin push Lparen; incr i end
+    else if c = ')' then begin push Rparen; incr i end
+    else if c = ',' then begin push Comma; incr i end
+    else if c = '.' then begin push Dot; incr i end
+    else if c = '*' then begin push Star; incr i end
+    else if c = '=' then begin push (Cmp Constraints.Eq); incr i end
+    else if c = '!' then
+      if !i + 1 < n && input.[!i + 1] = '=' then begin
+        push (Cmp Constraints.Neq);
+        i := !i + 2
+      end
+      else fail "expected '=' after '!' at offset %d" !i
+    else if c = '<' then
+      if !i + 1 < n && input.[!i + 1] = '=' then begin
+        push (Cmp Constraints.Le);
+        i := !i + 2
+      end
+      else begin push (Cmp Constraints.Lt); incr i end
+    else if c = '>' then
+      if !i + 1 < n && input.[!i + 1] = '=' then begin
+        push (Cmp Constraints.Ge);
+        i := !i + 2
+      end
+      else begin push (Cmp Constraints.Gt); incr i end
+    else if c = ':' then
+      if !i + 1 < n && input.[!i + 1] = '-' then begin
+        push Turnstile;
+        i := !i + 2
+      end
+      else fail "expected '-' after ':' at offset %d" !i
+    else if c = '\'' then begin
+      (* quoted string literal, no escapes *)
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && input.[!j] <> '\'' do
+        incr j
+      done;
+      if !j >= n then fail "unterminated string literal at offset %d" !i;
+      push (StrLit (String.sub input start (!j - start)));
+      i := !j + 1
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit input.[!i + 1])
+    then begin
+      let start = !i in
+      incr i;
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      push (IntLit (int_of_string (String.sub input start (!i - start))))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      push (Ident (String.sub input start (!i - start)))
+    end
+    else fail "unexpected character %C at offset %d" c !i
+  done;
+  List.rev !tokens
+
+type state = { mutable rest : token list }
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %s" s
+  | IntLit n -> Format.fprintf ppf "integer %d" n
+  | StrLit s -> Format.fprintf ppf "string %S" s
+  | Lparen -> Format.pp_print_string ppf "'('"
+  | Rparen -> Format.pp_print_string ppf "')'"
+  | Comma -> Format.pp_print_string ppf "','"
+  | Turnstile -> Format.pp_print_string ppf "':-'"
+  | Dot -> Format.pp_print_string ppf "'.'"
+  | Star -> Format.pp_print_string ppf "'*'"
+  | Cmp op -> Format.fprintf ppf "'%a'" Constraints.pp_op op
+
+let fail_token expected = function
+  | [] ->
+      raise
+        (Parse_error (Printf.sprintf "expected %s, got end of input" expected))
+  | t :: _ ->
+      raise
+        (Parse_error (Format.asprintf "expected %s, got %a" expected pp_token t))
+
+let eat st expected_desc pred =
+  match st.rest with
+  | t :: rest when pred t ->
+      st.rest <- rest;
+      t
+  | toks -> fail_token expected_desc toks
+
+let eat_ident st =
+  match eat st "identifier" (function Ident _ -> true | _ -> false) with
+  | Ident s -> s
+  | _ -> assert false
+
+let parse_vars st =
+  let rec loop acc =
+    let v = eat_ident st in
+    match st.rest with
+    | Comma :: rest ->
+        st.rest <- rest;
+        loop (v :: acc)
+    | _ -> List.rev (v :: acc)
+  in
+  loop []
+
+(* head ::= ident [ "(" ( "*" | vars ) ")" ] *)
+let parse_head st =
+  let name = eat_ident st in
+  match st.rest with
+  | Lparen :: Star :: Rparen :: rest ->
+      st.rest <- rest;
+      (name, None)
+  | Lparen :: _ ->
+      st.rest <- List.tl st.rest;
+      let vars = parse_vars st in
+      let (_ : token) = eat st "')'" (function Rparen -> true | _ -> false) in
+      (name, Some vars)
+  | _ -> (name, None)
+
+let parse_literal st =
+  match st.rest with
+  | IntLit n :: rest ->
+      st.rest <- rest;
+      Value.int n
+  | StrLit s :: rest ->
+      st.rest <- rest;
+      Value.str s
+  | Ident "true" :: rest ->
+      st.rest <- rest;
+      Value.bool true
+  | Ident "false" :: rest ->
+      st.rest <- rest;
+      Value.bool false
+  | toks -> fail_token "literal (integer, 'string', true or false)" toks
+
+(* item ::= ident "(" vars ")"  |  ident op literal *)
+let parse_item st =
+  let name = eat_ident st in
+  match st.rest with
+  | Lparen :: rest ->
+      st.rest <- rest;
+      let vars = parse_vars st in
+      let (_ : token) = eat st "')'" (function Rparen -> true | _ -> false) in
+      `Atom (name, vars)
+  | Cmp op :: rest ->
+      st.rest <- rest;
+      let value = parse_literal st in
+      `Constraint { Constraints.var = name; op; value }
+  | toks -> fail_token "'(' or a comparison operator" toks
+
+let parse_full input =
+  let st = { rest = tokenize input } in
+  let name, head_vars = parse_head st in
+  let (_ : token) = eat st "':-'" (function Turnstile -> true | _ -> false) in
+  let rec items acc =
+    let item = parse_item st in
+    match st.rest with
+    | Comma :: rest ->
+        st.rest <- rest;
+        items (item :: acc)
+    | _ -> List.rev (item :: acc)
+  in
+  let body = items [] in
+  (match st.rest with
+  | [] -> ()
+  | [ Dot ] -> ()
+  | toks -> fail_token "'.' or end of input" toks);
+  let atoms =
+    List.filter_map (function `Atom a -> Some a | `Constraint _ -> None) body
+  in
+  let constraints =
+    List.filter_map
+      (function `Constraint c -> Some c | `Atom _ -> None)
+      body
+  in
+  if atoms = [] then raise (Parse_error "query body has no atoms");
+  let cq = Cq.make ~name atoms in
+  Constraints.check cq constraints;
+  (match head_vars with
+  | None -> ()
+  | Some vars ->
+      let body_vars = List.sort String.compare (Cq.vars cq) in
+      let head_sorted = List.sort String.compare vars in
+      if body_vars <> head_sorted then
+        Errors.schema_errorf
+          "head of %s must list exactly the body variables (%s), got (%s)"
+          name
+          (String.concat ", " body_vars)
+          (String.concat ", " head_sorted));
+  (cq, constraints)
+
+let parse input =
+  match parse_full input with
+  | cq, [] -> cq
+  | cq, constraints ->
+      Errors.schema_errorf
+        "query %s has selection constraints (%s); use Parser.parse_full"
+        (Cq.name cq)
+        (Format.asprintf "%a" Constraints.pp_list constraints)
+
+let parse_opt input =
+  match parse input with
+  | cq -> Some cq
+  | exception (Parse_error _ | Errors.Schema_error _) -> None

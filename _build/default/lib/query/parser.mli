@@ -1,0 +1,34 @@
+(** Datalog-syntax parser for conjunctive queries with selections.
+
+    Accepted grammar (whitespace-insensitive, [%] starts a line comment):
+
+    {v
+    query  ::= head ":-" item ("," item)* "."?
+    head   ::= ident "(" vars ")" | ident "(" "*" ")" | ident
+    item   ::= atom | constraint
+    atom   ::= ident "(" vars ")"
+    vars   ::= ident ("," ident)*
+    constraint ::= ident op literal
+    op     ::= "=" | "!=" | "<" | "<=" | ">" | ">="
+    literal ::= integer | 'string' | true | false
+    v}
+
+    The head is checked against the body atoms: a full CQ must list every
+    body variable (in any order); ["*"] or a bare name accepts them all.
+    Constraints are the paper's Section 5.4 selections — tuples failing
+    them get sensitivity 0; feed them to the engines via
+    {!Constraints.selection}. *)
+
+exception Parse_error of string
+(** Carries a message with the offending position. *)
+
+val parse_full : string -> Cq.t * Constraints.t list
+(** Raises {!Parse_error} on syntax errors,
+    {!Tsens_relational.Errors.Schema_error} on semantic ones (self-joins,
+    head/body variable mismatch, constraints on unknown variables). *)
+
+val parse : string -> Cq.t
+(** Like {!parse_full} but raises {!Errors.Schema_error} if the query has
+    constraints — for callers that cannot apply a selection. *)
+
+val parse_opt : string -> Cq.t option

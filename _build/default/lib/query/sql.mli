@@ -1,0 +1,50 @@
+(** A SQL front end for counting queries.
+
+    Translates the paper's query class from its SQL surface form into the
+    internal conjunctive-query representation:
+
+    {v
+    SELECT COUNT( * )
+    FROM Customer c, Orders o, Lineitem l
+    WHERE c.CK = o.CK AND o.OK = l.OK AND c.NK = 7
+    v}
+
+    Equality conditions between columns induce the join variables (a
+    union–find over column references — natural-join semantics are *not*
+    assumed: only equated columns join); comparisons against literals
+    become {!Constraints} (the Section 5.4 selections). Keywords are
+    case-insensitive; aliases are optional ([AS] or juxtaposition); only
+    [COUNT( * )] heads are accepted, mirroring the paper's query class; a
+    table may appear once ([FROM R a, R b] is a self-join, which the
+    algorithms do not support).
+
+    Because SQL references columns while CQs share variables by name, the
+    translator needs the relations' column lists — the [catalog]. *)
+
+open Tsens_relational
+
+exception Sql_error of string
+
+val catalog_of_database : Database.t -> (string * string list) list
+(** Relation name → column names, from a live database. *)
+
+type translation = {
+  query : Cq.t;  (** atoms named after the tables, columns renamed to
+                     join variables *)
+  constraints : Constraints.t list;  (** WHERE comparisons vs literals *)
+  renamings : (string * (Attr.t * Attr.t) list) list;
+      (** per table, column → variable (identity pairs omitted) *)
+}
+
+val translate :
+  catalog:(string * string list) list -> string -> translation
+(** Raises {!Sql_error} on syntax errors, unknown tables/columns,
+    ambiguous bare column references, or self-joins. Join variables keep
+    the column name when that is unambiguous; otherwise they are prefixed
+    with the alias, and the database must be passed through {!bind}
+    before querying. *)
+
+val bind : translation -> Database.t -> Database.t
+(** Renames the mentioned relations' columns to the translation's join
+    variables, so the result matches [translation.query]. Relations not
+    mentioned by the query are untouched. *)

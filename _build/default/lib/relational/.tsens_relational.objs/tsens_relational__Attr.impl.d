@@ -1,0 +1,1 @@
+lib/relational/attr.ml: Format Hashtbl String

@@ -1,0 +1,1 @@
+lib/relational/attr.mli: Format

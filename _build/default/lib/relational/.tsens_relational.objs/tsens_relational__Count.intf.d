@@ -1,0 +1,1 @@
+lib/relational/count.mli: Format

@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Array Errors Fun List Relation Schema String Tuple Value

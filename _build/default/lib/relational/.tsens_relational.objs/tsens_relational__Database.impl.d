@@ -1,0 +1,1 @@
+lib/relational/database.ml: Count Errors Format List Map Relation String

@@ -1,0 +1,1 @@
+lib/relational/heap.ml: List

@@ -1,0 +1,1 @@
+lib/relational/index.ml: Count Errors Hashtbl Relation Schema Tuple

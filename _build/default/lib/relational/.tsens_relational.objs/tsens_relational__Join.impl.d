@@ -1,0 +1,1 @@
+lib/relational/join.ml: Array Count Errors Hashtbl Index List Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/relational/join.mli: Count Relation Schema

@@ -1,0 +1,1 @@
+lib/relational/prng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Count Errors Format Hashtbl List Schema Tuple Value

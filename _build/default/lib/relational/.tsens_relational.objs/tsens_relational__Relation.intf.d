@@ -1,0 +1,1 @@
+lib/relational/relation.mli: Attr Count Format Schema Tuple Value

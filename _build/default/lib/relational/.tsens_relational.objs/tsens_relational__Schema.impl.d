@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Attr Errors Format Hashtbl List

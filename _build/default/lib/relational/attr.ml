@@ -1,0 +1,11 @@
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let hash = Hashtbl.hash
+let pp = Format.pp_print_string
+
+let pp_list ppf attrs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp ppf attrs

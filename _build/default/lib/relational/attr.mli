@@ -1,0 +1,16 @@
+(** Attribute (column) names.
+
+    Attributes are plain strings compared case-sensitively. Two relations
+    natural-join on the attributes whose names coincide, so workload
+    builders choose names deliberately (e.g. TPC-H's [custkey] appears in
+    both [Customer] and [Orders]). *)
+
+type t = string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val pp_list : Format.formatter -> t list -> unit
+(** Comma-separated rendering, e.g. [A, B, C]. *)

@@ -1,0 +1,25 @@
+type t = int
+
+let zero = 0
+let one = 1
+let max_count = Stdlib.max_int
+let is_saturated c = c = max_count
+
+let add a b = if a > max_count - b then max_count else a + b
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else if a > max_count / b then max_count
+  else a * b
+
+let pow c k =
+  if k < 0 then invalid_arg "Count.pow: negative exponent";
+  let rec loop acc k = if k = 0 then acc else loop (mul acc c) (k - 1) in
+  loop one k
+
+let compare = Int.compare
+let equal = Int.equal
+let max a b = if a >= b then a else b
+let of_int n = if n < 0 then 0 else n
+let to_string c = if is_saturated c then "overflow" else string_of_int c
+let pp ppf c = Format.pp_print_string ppf (to_string c)

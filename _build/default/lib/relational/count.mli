@@ -1,0 +1,43 @@
+(** Saturating multiplicity arithmetic.
+
+    Bag-semantics multiplicities and sensitivities are products of row
+    counts; baselines such as elastic sensitivity multiply per-relation
+    maximum frequencies and overflow 63-bit integers on large instances.
+    This module provides addition and multiplication that saturate at
+    {!max_count} instead of wrapping around, so sensitivity bounds remain
+    sound (a saturated value is a valid upper bound). *)
+
+type t = int
+(** A multiplicity. Invariant: [0 <= c <= max_count]. *)
+
+val zero : t
+val one : t
+
+val max_count : t
+(** The saturation point, [Stdlib.max_int]. *)
+
+val is_saturated : t -> bool
+(** [is_saturated c] is [true] iff [c = max_count], i.e. [c] is the result
+    of an overflowing operation and only meaningful as an upper bound. *)
+
+val add : t -> t -> t
+(** Saturating addition. *)
+
+val mul : t -> t -> t
+(** Saturating multiplication. *)
+
+val pow : t -> int -> t
+(** [pow c k] is [c] multiplied by itself [k] times (saturating);
+    [pow c 0 = one]. Raises [Invalid_argument] if [k < 0]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val max : t -> t -> t
+
+val of_int : int -> t
+(** [of_int n] clamps a possibly-negative [n] to [[0, max_count]]. *)
+
+val to_string : t -> string
+(** Renders saturated values as ["overflow"]. *)
+
+val pp : Format.formatter -> t -> unit

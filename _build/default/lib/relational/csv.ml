@@ -1,0 +1,81 @@
+let check_field s =
+  if String.exists (fun c -> c = ',' || c = '\n' || c = '\r') s then
+    Errors.data_errorf "CSV field %S contains a separator" s;
+  s
+
+let output oc rel =
+  let schema = Relation.schema rel in
+  let header =
+    String.concat "," (List.map check_field (Schema.attrs schema) @ [ "cnt" ])
+  in
+  output_string oc header;
+  output_char oc '\n';
+  Relation.iter
+    (fun tup cnt ->
+      let fields =
+        Array.to_list tup
+        |> List.map (fun v -> check_field (Value.to_string v))
+      in
+      output_string oc (String.concat "," (fields @ [ string_of_int cnt ]));
+      output_char oc '\n')
+    rel
+
+let write_file path rel =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc rel)
+
+let split_line line = String.split_on_char ',' (String.trim line)
+
+let input ?schema ic =
+  let header =
+    try input_line ic
+    with End_of_file -> Errors.data_errorf "CSV input is empty"
+  in
+  let columns = split_line header in
+  let attrs =
+    match List.rev columns with
+    | "cnt" :: rest -> List.rev rest
+    | _ -> Errors.data_errorf "CSV header %S lacks a trailing cnt column" header
+  in
+  let file_schema = Schema.of_list attrs in
+  let schema =
+    match schema with
+    | None -> file_schema
+    | Some s ->
+        if not (Schema.equal s file_schema) then
+          Errors.data_errorf "CSV header %a does not match expected schema %a"
+            Schema.pp file_schema Schema.pp s;
+        s
+  in
+  let arity = Schema.arity schema in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         let fields = split_line line in
+         if List.length fields <> arity + 1 then
+           Errors.data_errorf "CSV row %S has %d fields, expected %d" line
+             (List.length fields) (arity + 1);
+         let values, cnt_field =
+           match List.rev fields with
+           | c :: rest -> (List.rev rest, c)
+           | [] -> assert false
+         in
+         let cnt =
+           match int_of_string_opt cnt_field with
+           | Some c when c > 0 -> c
+           | Some _ | None ->
+               Errors.data_errorf "CSV row %S has invalid count %S" line
+                 cnt_field
+         in
+         let tup = Tuple.of_list (List.map Value.of_string values) in
+         rows := (tup, cnt) :: !rows
+       end
+     done
+   with End_of_file -> ());
+  Relation.create ~schema (List.rev !rows)
+
+let read_file ?schema path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input ?schema ic)

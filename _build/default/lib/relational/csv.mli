@@ -1,0 +1,18 @@
+(** Plain CSV import/export for relations.
+
+    Format: a header line with the attribute names followed by a final
+    [cnt] column, then one line per distinct tuple. Values are rendered
+    with {!Value.to_string} and parsed back with {!Value.of_string};
+    values containing commas or newlines are unsupported (generated
+    workloads never produce them) and raise {!Errors.Data_error} on
+    export. *)
+
+val output : out_channel -> Relation.t -> unit
+val write_file : string -> Relation.t -> unit
+
+val input : ?schema:Schema.t -> in_channel -> Relation.t
+(** Reads a relation. When [schema] is given it must match the header's
+    attribute names; otherwise the header defines the schema. Raises
+    {!Errors.Data_error} on malformed input. *)
+
+val read_file : ?schema:Schema.t -> string -> Relation.t

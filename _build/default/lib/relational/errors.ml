@@ -1,0 +1,5 @@
+exception Schema_error of string
+exception Data_error of string
+
+let schema_errorf fmt = Format.kasprintf (fun s -> raise (Schema_error s)) fmt
+let data_errorf fmt = Format.kasprintf (fun s -> raise (Data_error s)) fmt

@@ -1,0 +1,20 @@
+(** Errors raised by the relational layer.
+
+    All invariant violations in this library raise [Schema_error] or
+    [Data_error] with a human-readable message; callers that construct
+    schemas and relations from validated input never see them. *)
+
+exception Schema_error of string
+(** Raised on malformed schemas: duplicate attributes, projection onto
+    attributes that are not present, arity mismatches, etc. *)
+
+exception Data_error of string
+(** Raised on malformed data: a row whose arity does not match its
+    relation's schema, a non-positive multiplicity, a CSV parse error. *)
+
+val schema_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [schema_errorf fmt ...] raises {!Schema_error} with a formatted
+    message. *)
+
+val data_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [data_errorf fmt ...] raises {!Data_error} with a formatted message. *)

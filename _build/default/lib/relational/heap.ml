@@ -1,0 +1,39 @@
+(* Pairing heap: O(1) insert/meld, amortized O(log n) pop. *)
+
+type 'a node = Node of 'a * 'a node list
+
+type 'a t = { cmp : 'a -> 'a -> int; root : 'a node option; count : int }
+
+let empty ~cmp = { cmp; root = None; count = 0 }
+let is_empty h = h.root = None
+let size h = h.count
+
+let meld cmp a b =
+  match (a, b) with
+  | Node (x, xs), Node (y, ys) ->
+      if cmp x y >= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+let insert x h =
+  let node = Node (x, []) in
+  let root =
+    match h.root with None -> node | Some r -> meld h.cmp node r
+  in
+  { h with root = Some root; count = h.count + 1 }
+
+(* Two-pass pairing of the children. *)
+let rec merge_pairs cmp = function
+  | [] -> None
+  | [ n ] -> Some n
+  | a :: b :: rest -> (
+      let ab = meld cmp a b in
+      match merge_pairs cmp rest with
+      | None -> Some ab
+      | Some r -> Some (meld cmp ab r))
+
+let pop h =
+  match h.root with
+  | None -> None
+  | Some (Node (x, children)) ->
+      Some (x, { h with root = merge_pairs h.cmp children; count = h.count - 1 })
+
+let of_list ~cmp xs = List.fold_left (fun h x -> insert x h) (empty ~cmp) xs

@@ -1,0 +1,20 @@
+(** A small purely functional max-heap (pairing heap).
+
+    Used for best-first enumeration (top-k combinations of factored
+    multiplicity tables). Elements are ordered by a comparison supplied
+    at creation; ties are surfaced in insertion-independent order only if
+    the comparison is total. *)
+
+type 'a t
+
+val empty : cmp:('a -> 'a -> int) -> 'a t
+(** [cmp] orders elements; the maximum is popped first. *)
+
+val is_empty : 'a t -> bool
+val insert : 'a -> 'a t -> 'a t
+
+val pop : 'a t -> ('a * 'a t) option
+(** Largest element and the remaining heap; [None] when empty. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val size : 'a t -> int

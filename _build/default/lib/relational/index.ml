@@ -1,0 +1,43 @@
+(* Keyed once at build; lookups share the precomputed key positions. *)
+
+module H = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type t = {
+  key : Schema.t;
+  source : Schema.t;
+  groups : (Tuple.t * Count.t) list H.t;
+  counts : Count.t H.t;
+}
+
+let build ~key rel =
+  let source = Relation.schema rel in
+  if not (Schema.subset key source) then
+    Errors.schema_errorf "index key %a not a subset of %a" Schema.pp key
+      Schema.pp source;
+  let positions = Schema.positions ~sub:key source in
+  let groups = H.create (max 16 (Relation.distinct_count rel)) in
+  let counts = H.create (max 16 (Relation.distinct_count rel)) in
+  Relation.iter
+    (fun tup cnt ->
+      let k = Tuple.project positions tup in
+      let prev = try H.find groups k with Not_found -> [] in
+      H.replace groups k ((tup, cnt) :: prev);
+      let prev_c = try H.find counts k with Not_found -> 0 in
+      H.replace counts k (Count.add prev_c cnt))
+    rel;
+  { key; source; groups; counts }
+
+let key_schema t = t.key
+let source_schema t = t.source
+let lookup t k = try H.find t.groups k with Not_found -> []
+let group_count t k = try H.find t.counts k with Not_found -> 0
+
+let max_group_count t =
+  H.fold (fun _ c acc -> Count.max c acc) t.counts Count.zero
+
+let iter_groups f t = H.iter f t.groups

@@ -1,0 +1,208 @@
+(* All operators hash-partition the right side on the common attributes
+   and stream the left side through it. The combined tuple layout is
+   always: left tuple ++ (right tuple minus common attributes), matching
+   [Schema.union left right]. *)
+
+type plan = {
+  combined : Schema.t;
+  common_left : int array; (* positions of common attrs in the left schema *)
+  right_extra : int array; (* positions of right-only attrs in the right schema *)
+  common_right : Schema.t; (* common attrs, left order; index key and probe agree *)
+}
+
+let make_plan left right =
+  let common = Schema.inter left right in
+  let combined = Schema.union left right in
+  let right_only = Schema.diff right left in
+  {
+    combined;
+    common_left = Schema.positions ~sub:common left;
+    right_extra = Schema.positions ~sub:right_only right;
+    common_right = common;
+  }
+
+(* The index key is the common schema *in left order* so that probing with
+   a left-side projection matches. *)
+let build_right_index plan right_rel =
+  Index.build ~key:plan.common_right right_rel
+
+let combine plan left_tup right_tup =
+  Tuple.concat left_tup (Tuple.project plan.right_extra right_tup)
+
+let stream_join a b emit =
+  let plan = make_plan (Relation.schema a) (Relation.schema b) in
+  let idx = build_right_index plan b in
+  Relation.iter
+    (fun ltup lcnt ->
+      let key = Tuple.project plan.common_left ltup in
+      List.iter
+        (fun (rtup, rcnt) ->
+          emit (combine plan ltup rtup) (Count.mul lcnt rcnt))
+        (Index.lookup idx key))
+    a;
+  plan.combined
+
+let natural_join a b =
+  let acc = ref [] in
+  let combined = stream_join a b (fun tup cnt -> acc := (tup, cnt) :: !acc) in
+  Relation.create ~schema:combined (List.rev !acc)
+
+module H = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let join_project ~group a b =
+  let combined = Schema.union (Relation.schema a) (Relation.schema b) in
+  if not (Schema.subset group combined) then
+    Errors.schema_errorf "join_project: %a not a subset of joined schema %a"
+      Schema.pp group Schema.pp combined;
+  let positions = Schema.positions ~sub:group combined in
+  let table = H.create 1024 in
+  let emit tup cnt =
+    let key = Tuple.project positions tup in
+    let prev = try H.find table key with Not_found -> 0 in
+    H.replace table key (Count.add prev cnt)
+  in
+  let (_ : Schema.t) = stream_join a b emit in
+  Relation.create ~schema:group (H.fold (fun t c acc -> (t, c) :: acc) table [])
+
+let join_all = function
+  | [] -> invalid_arg "Join.join_all: empty list"
+  | r :: rest -> List.fold_left natural_join r rest
+
+(* Sort-merge: both sides keyed by their common-attribute projection and
+   sorted; equal-key runs pair up as block cross products. *)
+let merge_join a b =
+  let plan = make_plan (Relation.schema a) (Relation.schema b) in
+  let keyed rel positions =
+    let rows = Relation.rows rel in
+    let arr =
+      Array.map (fun (tup, cnt) -> (Tuple.project positions tup, tup, cnt)) rows
+    in
+    Array.sort (fun (k1, t1, _) (k2, t2, _) ->
+        match Tuple.compare k1 k2 with 0 -> Tuple.compare t1 t2 | c -> c)
+      arr;
+    arr
+  in
+  let right_positions =
+    Schema.positions ~sub:plan.common_right (Relation.schema b)
+  in
+  let left = keyed a plan.common_left in
+  let right = keyed b right_positions in
+  let key (k, _, _) = k in
+  (* End of the run of equal keys starting at [i]. *)
+  let run_end arr i =
+    let k = key arr.(i) in
+    let j = ref (i + 1) in
+    while !j < Array.length arr && Tuple.equal (key arr.(!j)) k do
+      incr j
+    done;
+    !j
+  in
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length left && !j < Array.length right do
+    let c = Tuple.compare (key left.(!i)) (key right.(!j)) in
+    if c < 0 then i := run_end left !i
+    else if c > 0 then j := run_end right !j
+    else begin
+      let i_end = run_end left !i and j_end = run_end right !j in
+      for li = !i to i_end - 1 do
+        let _, ltup, lcnt = left.(li) in
+        for rj = !j to j_end - 1 do
+          let _, rtup, rcnt = right.(rj) in
+          out := (combine plan ltup rtup, Count.mul lcnt rcnt) :: !out
+        done
+      done;
+      i := i_end;
+      j := j_end
+    end
+  done;
+  Relation.create ~schema:plan.combined !out
+
+(* Greedy connected ordering: start from the widest relation and keep
+   picking a relation sharing attributes with the accumulated schema
+   (most shared first), falling back to the widest remaining one when
+   only cross products are left. The result is order-independent; the
+   ordering only controls intermediate sizes — deferring cross products
+   is the difference between |R|+|S| and |R|·|S| intermediates. *)
+let connected_order rels =
+  let rels = Array.of_list rels in
+  let used = Array.make (Array.length rels) false in
+  let pick better =
+    let best = ref (-1) in
+    Array.iteri
+      (fun i r ->
+        if (not used.(i)) && (!best < 0 || better r rels.(!best)) then best := i)
+      rels;
+    !best
+  in
+  let arity r = Schema.arity (Relation.schema r) in
+  let ordered = ref [] in
+  let acc_schema = ref Schema.empty in
+  let take i =
+    used.(i) <- true;
+    acc_schema := Schema.union !acc_schema (Relation.schema rels.(i));
+    ordered := rels.(i) :: !ordered
+  in
+  if Array.length rels > 0 then take (pick (fun a b -> arity a > arity b));
+  for _ = 2 to Array.length rels do
+    let overlap r = Schema.arity (Schema.inter (Relation.schema r) !acc_schema) in
+    let i = pick (fun a b -> overlap a > overlap b) in
+    let i =
+      (* All remaining are disjoint from the accumulator: defer the cross
+         product to the widest one. *)
+      if overlap rels.(i) > 0 then i else pick (fun a b -> arity a > arity b)
+    in
+    take i
+  done;
+  List.rev !ordered
+
+let join_project_all ~group rels =
+  match connected_order rels with
+  | [] -> invalid_arg "Join.join_project_all: empty list"
+  | [ r ] -> Relation.project group r
+  | first :: rest ->
+      (* Attributes needed downstream of position i: anything in [group]
+         or in a relation joined after i. Projecting intermediates onto
+         this set preserves the final grouped counts. *)
+      let rec loop acc = function
+        | [] -> Relation.project group acc
+        | r :: later ->
+            let still_needed =
+              List.fold_left
+                (fun s rel -> Schema.union s (Relation.schema rel))
+                group later
+            in
+            let keep =
+              Schema.inter
+                (Schema.union (Relation.schema acc) (Relation.schema r))
+                still_needed
+            in
+            loop (join_project ~group:keep acc r) later
+      in
+      loop first rest
+
+let semijoin a b =
+  let common = Schema.inter (Relation.schema a) (Relation.schema b) in
+  let positions = Schema.positions ~sub:common (Relation.schema a) in
+  let idx = Index.build ~key:common b in
+  Relation.filter
+    (fun _schema tup ->
+      Index.group_count idx (Tuple.project positions tup) > 0)
+    a
+
+let count_join a b =
+  let total = ref Count.zero in
+  let plan = make_plan (Relation.schema a) (Relation.schema b) in
+  let idx = build_right_index plan b in
+  Relation.iter
+    (fun ltup lcnt ->
+      let key = Tuple.project plan.common_left ltup in
+      let group = Index.group_count idx key in
+      total := Count.add !total (Count.mul lcnt group))
+    a;
+  !total

@@ -1,0 +1,169 @@
+type t = { schema : Schema.t; rows : (Tuple.t * Count.t) array }
+
+(* Merge duplicate tuples, drop zero counts, sort: the canonical form all
+   constructors funnel through. *)
+let normalize schema pairs =
+  let table = Hashtbl.create (max 16 (List.length pairs)) in
+  List.iter
+    (fun (tup, cnt) ->
+      let prev = try Hashtbl.find table tup with Not_found -> 0 in
+      Hashtbl.replace table tup (Count.add prev cnt))
+    pairs;
+  let rows =
+    Hashtbl.fold (fun tup cnt acc -> if cnt > 0 then (tup, cnt) :: acc else acc)
+      table []
+  in
+  let rows = Array.of_list rows in
+  Array.sort (fun (a, _) (b, _) -> Tuple.compare a b) rows;
+  { schema; rows }
+
+let check_row schema (tup, cnt) =
+  if Tuple.arity tup <> Schema.arity schema then
+    Errors.data_errorf "row arity %d does not match schema %a"
+      (Tuple.arity tup) Schema.pp schema;
+  if cnt <= 0 then
+    Errors.data_errorf "non-positive multiplicity %d for tuple %a" cnt
+      Tuple.pp tup
+
+let create ~schema pairs =
+  List.iter (check_row schema) pairs;
+  normalize schema pairs
+
+let of_tuples ~schema tuples = create ~schema (List.map (fun t -> (t, 1)) tuples)
+
+let of_rows ~schema rows =
+  of_tuples ~schema (List.map Tuple.of_list rows)
+
+let empty schema = { schema; rows = [||] }
+
+let schema r = r.schema
+let rows r = r.rows
+
+let cardinality r =
+  Array.fold_left (fun acc (_, c) -> Count.add acc c) Count.zero r.rows
+
+let distinct_count r = Array.length r.rows
+let is_empty r = Array.length r.rows = 0
+
+(* Rows are sorted, so point lookups binary-search. *)
+let find_index tup r =
+  let lo = ref 0 and hi = ref (Array.length r.rows - 1) and res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Tuple.compare (fst r.rows.(mid)) tup in
+    if c = 0 then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if c < 0 then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let mem tup r = find_index tup r >= 0
+let count_of tup r = match find_index tup r with -1 -> 0 | i -> snd r.rows.(i)
+
+let fold f r init =
+  Array.fold_left (fun acc (tup, cnt) -> f tup cnt acc) init r.rows
+
+let iter f r = Array.iter (fun (tup, cnt) -> f tup cnt) r.rows
+
+let project target r =
+  if not (Schema.subset target r.schema) then
+    Errors.schema_errorf "project: %a is not a subset of %a" Schema.pp target
+      Schema.pp r.schema;
+  let positions =
+    Schema.positions ~sub:target r.schema
+  in
+  let table = Hashtbl.create (max 16 (Array.length r.rows)) in
+  Array.iter
+    (fun (tup, cnt) ->
+      let key = Tuple.project positions tup in
+      let prev = try Hashtbl.find table key with Not_found -> 0 in
+      Hashtbl.replace table key (Count.add prev cnt))
+    r.rows;
+  let out = Hashtbl.fold (fun tup cnt acc -> (tup, cnt) :: acc) table [] in
+  let out = Array.of_list out in
+  Array.sort (fun (a, _) (b, _) -> Tuple.compare a b) out;
+  { schema = target; rows = out }
+
+let filter pred r =
+  let rows =
+    Array.to_list r.rows |> List.filter (fun (tup, _) -> pred r.schema tup)
+  in
+  { schema = r.schema; rows = Array.of_list rows }
+
+let rename mapping r = { r with schema = Schema.rename mapping r.schema }
+
+let scale factor r =
+  if factor <= 0 then Errors.data_errorf "scale: non-positive factor %d" factor;
+  { r with rows = Array.map (fun (t, c) -> (t, Count.mul c factor)) r.rows }
+
+let add ?(count = 1) tup r =
+  check_row r.schema (tup, count);
+  normalize r.schema ((tup, count) :: Array.to_list r.rows)
+
+let remove ?(count = 1) tup r =
+  match find_index tup r with
+  | -1 -> r
+  | i ->
+      let existing = snd r.rows.(i) in
+      let remaining = existing - count in
+      let rows = Array.to_list r.rows in
+      let rows =
+        List.filteri (fun j _ -> j <> i) rows
+        |> fun rest ->
+        if remaining > 0 then (tup, remaining) :: rest else rest
+      in
+      normalize r.schema rows
+
+let max_row r =
+  Array.fold_left
+    (fun best (tup, cnt) ->
+      match best with
+      | None -> Some (tup, cnt)
+      | Some (_, best_cnt) -> if cnt > best_cnt then Some (tup, cnt) else best)
+    None r.rows
+
+let max_frequency ~over r =
+  if Schema.arity over = 0 then cardinality r
+  else
+    let grouped = project over r in
+    match max_row grouped with None -> 0 | Some (_, c) -> c
+
+let active_domain attr r =
+  let pos = Schema.index attr r.schema in
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun (tup, _) -> Hashtbl.replace seen (Tuple.get tup pos) ()) r.rows;
+  Hashtbl.fold (fun v () acc -> v :: acc) seen []
+  |> List.sort Value.compare
+
+let equal a b =
+  Schema.equal a.schema b.schema
+  && Array.length a.rows = Array.length b.rows
+  && Array.for_all2
+       (fun (t1, c1) (t2, c2) -> Tuple.equal t1 t2 && Count.equal c1 c2)
+       a.rows b.rows
+
+let reorder target r =
+  if not (Schema.equal_as_sets target r.schema) then
+    Errors.schema_errorf "reorder: %a and %a hold different attributes"
+      Schema.pp target Schema.pp r.schema;
+  let positions = Schema.positions ~sub:target r.schema in
+  normalize target
+    (Array.to_list r.rows
+    |> List.map (fun (tup, cnt) -> (Tuple.project positions tup, cnt)))
+
+let equal_semantic a b =
+  Schema.equal_as_sets a.schema b.schema && equal a (reorder a.schema b)
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a | cnt@," Schema.pp r.schema;
+  Array.iter
+    (fun (tup, cnt) -> Format.fprintf ppf "%a | %a@," Tuple.pp tup Count.pp cnt)
+    r.rows;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf r =
+  Format.fprintf ppf "%a: %d distinct, %a total" Schema.pp r.schema
+    (distinct_count r) Count.pp (cardinality r)

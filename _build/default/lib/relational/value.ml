@@ -1,0 +1,42 @@
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+
+let int n = Int n
+let str s = Str s
+let bool b = Bool b
+
+(* Constructor rank for cross-constructor ordering. *)
+let rank = function Int _ -> 0 | Str _ -> 1 | Bool _ -> 2
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | (Int _ | Str _ | Bool _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int n -> Hashtbl.hash (0, n)
+  | Str s -> Hashtbl.hash (1, s)
+  | Bool b -> Hashtbl.hash (2, b)
+
+let as_int = function Int n -> Some n | Str _ | Bool _ -> None
+let as_str = function Str s -> Some s | Int _ | Bool _ -> None
+let as_bool = function Bool b -> Some b | Int _ | Str _ -> None
+
+let to_string = function
+  | Int n -> string_of_int n
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let of_string s =
+  match int_of_string_opt s with
+  | Some n -> Int n
+  | None -> (
+      match bool_of_string_opt s with Some b -> Bool b | None -> Str s)
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,1 @@
+lib/sensitivity/approx.ml: Array Count Cq Database Ghd Hashtbl Join Join_tree List Option Relation Schema Sens_types Tsens Tsens_query Tsens_relational Tuple Value Yannakakis

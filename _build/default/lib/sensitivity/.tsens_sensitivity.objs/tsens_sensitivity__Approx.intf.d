@@ -1,0 +1,1 @@
+lib/sensitivity/approx.mli: Cq Database Ghd Sens_types Tsens_query Tsens_relational

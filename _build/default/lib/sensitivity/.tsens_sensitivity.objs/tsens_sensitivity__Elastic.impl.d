@@ -1,0 +1,1 @@
+lib/sensitivity/elastic.ml: Count Cq Database Errors Ghd Hashtbl Join_tree List Relation Schema Sens_types String Tsens_query Tsens_relational Yannakakis

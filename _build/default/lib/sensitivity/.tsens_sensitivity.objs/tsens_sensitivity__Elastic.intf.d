@@ -1,0 +1,1 @@
+lib/sensitivity/elastic.mli: Count Cq Database Ghd Schema Sens_types Tsens_query Tsens_relational

@@ -1,0 +1,1 @@
+lib/sensitivity/naive.ml: Count Cq Database Errors List Relation Schema Sens_types String Tsens_query Tsens_relational Tuple Value Yannakakis

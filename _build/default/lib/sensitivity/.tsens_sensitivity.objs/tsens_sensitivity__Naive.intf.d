@@ -1,0 +1,1 @@
+lib/sensitivity/naive.mli: Count Cq Database Schema Sens_types Tsens_query Tsens_relational Tuple

@@ -1,0 +1,1 @@
+lib/sensitivity/path_sens.ml: Array Classify Count Cq Database Errors Join List Relation Schema Sens_types String Tsens_query Tsens_relational Tuple Value

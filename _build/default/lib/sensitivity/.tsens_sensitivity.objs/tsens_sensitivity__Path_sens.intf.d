@@ -1,0 +1,1 @@
+lib/sensitivity/path_sens.mli: Cq Sens_types Tsens_query Tsens_relational

@@ -1,0 +1,1 @@
+lib/sensitivity/sens_types.ml: Count Format List Schema Tsens_relational Tuple

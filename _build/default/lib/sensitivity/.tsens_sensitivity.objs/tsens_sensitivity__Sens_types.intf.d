@@ -1,0 +1,1 @@
+lib/sensitivity/sens_types.mli: Count Format Schema Tsens_relational Tuple

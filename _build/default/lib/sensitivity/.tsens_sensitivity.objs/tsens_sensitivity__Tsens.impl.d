@@ -1,0 +1,1 @@
+lib/sensitivity/tsens.ml: Array Count Cq Database Errors Format Ghd Hashtbl Heap Join Join_tree List Option Relation Schema Sens_types Seq String Tsens_query Tsens_relational Tuple Value Yannakakis

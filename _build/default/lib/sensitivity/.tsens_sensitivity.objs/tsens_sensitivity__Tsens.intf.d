@@ -1,0 +1,1 @@
+lib/sensitivity/tsens.mli: Count Cq Database Format Ghd Relation Schema Sens_types Tsens_query Tsens_relational Tuple

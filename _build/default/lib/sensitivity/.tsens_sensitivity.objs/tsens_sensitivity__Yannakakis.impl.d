@@ -1,0 +1,1 @@
+lib/sensitivity/yannakakis.ml: Count Cq Database Ghd Hashtbl Join Join_tree List Relation Schema String Tsens_query Tsens_relational

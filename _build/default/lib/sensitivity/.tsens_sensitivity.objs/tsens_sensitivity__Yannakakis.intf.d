@@ -1,0 +1,1 @@
+lib/sensitivity/yannakakis.mli: Count Cq Database Ghd Relation Tsens_query Tsens_relational

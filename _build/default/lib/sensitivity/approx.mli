@@ -1,0 +1,32 @@
+(** Top-k frequency approximation of TSens (paper Section 5.4,
+    "Efficient approximations").
+
+    Instead of carrying full topjoin/botjoin tables, only the k heaviest
+    entries are kept exactly; every other value of the link domain is
+    bounded by the (k+1)-th largest frequency. The result is a sound
+    *upper bound* on every tuple sensitivity — a truncation-threshold
+    oracle can use it where the exact tables would grow too large (the
+    paper's q3 grows nearly quadratically with the input). With [k]
+    larger than every intermediate table the bound is exact and equals
+    {!Tsens}.
+
+    Compressed tables are re-expanded against the next bag's join keys
+    before each join (a missing key costs its default), so bounds stay
+    tight where the data is skewed — exactly the regime the paper
+    targets. *)
+
+open Tsens_relational
+open Tsens_query
+
+val local_sensitivity :
+  k:int -> ?plans:Ghd.t list -> Cq.t -> Database.t -> Sens_types.result
+(** Upper bounds on the per-relation maximum tuple sensitivities and the
+    local sensitivity; the witness is the heaviest *explicitly tracked*
+    row (its true sensitivity can be below the bound when the bound comes
+    from the compressed tail). Raises [Invalid_argument] if [k < 1]. *)
+
+val intermediate_sizes :
+  k:int -> ?plans:Ghd.t list -> Cq.t -> Database.t -> int * int
+(** [(exact, compressed)]: total distinct rows across all topjoins and
+    botjoins without and with compression — the space saving the
+    approximation buys. *)

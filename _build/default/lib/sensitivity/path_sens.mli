@@ -1,0 +1,22 @@
+(** Algorithm 1 — local sensitivity of path join queries in O(n log n).
+
+    For Q(A0..Am) :- R1(A0,A1), ..., Rm(Am-1,Am), the sensitivity of a
+    tuple (a, b) added to or removed from Ri is (number of partial join
+    paths ending at a) × (number of partial join paths starting at b).
+    Two linear passes compute the topjoins ⊤(Ri) (multiplicities of
+    incoming paths, grouped on Ai-1) and botjoins ⊥(Ri) (outgoing paths);
+    the most sensitive tuple of Ri pairs the heaviest entry of ⊤(Ri) with
+    the heaviest entry of ⊥(Ri+1) — their join is a cross product, which
+    also covers insertions from the representative domain.
+
+    A specialization of {!Tsens} kept separate for the paper's complexity
+    claim (Theorem 4.1) and as a differential-testing oracle. *)
+
+open Tsens_query
+
+val local_sensitivity :
+  ?order:string list -> Cq.t -> Tsens_relational.Database.t -> Sens_types.result
+(** Raises {!Tsens_relational.Errors.Schema_error} if the query is not a
+    path join query ({!Classify.path_order}). [order] overrides the
+    detected relation order (must be a valid path order over the same
+    atoms — useful to fix the direction). *)

@@ -1,0 +1,53 @@
+open Tsens_relational
+
+type witness = {
+  relation : string;
+  schema : Schema.t;
+  tuple : Tuple.t;
+  sensitivity : Count.t;
+}
+
+type result = {
+  local_sensitivity : Count.t;
+  witness : witness option;
+  per_relation : (string * Count.t) list;
+}
+
+let result_of_per_relation bests =
+  let per_relation =
+    List.map
+      (fun (relation, best) ->
+        match best with
+        | None -> (relation, Count.zero)
+        | Some (_, _, c) -> (relation, c))
+      bests
+  in
+  let witness =
+    List.fold_left
+      (fun acc (relation, best) ->
+        match best with
+        | None -> acc
+        | Some (tuple, schema, sensitivity) -> (
+            match acc with
+            | Some w when w.sensitivity >= sensitivity -> acc
+            | _ -> Some { relation; schema; tuple; sensitivity }))
+      None bests
+  in
+  let local_sensitivity =
+    match witness with None -> Count.zero | Some w -> w.sensitivity
+  in
+  { local_sensitivity; witness; per_relation }
+
+let pp_witness ppf w =
+  Format.fprintf ppf "%s%a with sensitivity %a" w.relation Tuple.pp w.tuple
+    Count.pp w.sensitivity
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>LS = %a@," Count.pp r.local_sensitivity;
+  (match r.witness with
+  | Some w -> Format.fprintf ppf "witness: %a@," pp_witness w
+  | None -> Format.fprintf ppf "witness: none@,");
+  List.iter
+    (fun (rel, c) -> Format.fprintf ppf "  max over %s: %a@," rel Count.pp c)
+    r.per_relation;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** Shared vocabulary of the sensitivity algorithms.
+
+    Tuple sensitivity δ(t, Q, D) is the maximum change in the bag-counted
+    join output when one copy of tuple [t] is added to or removed from its
+    relation (paper Definition 2.1); local sensitivity LS(Q, D) is the
+    maximum tuple sensitivity over the whole domain (Definition 2.2). All
+    algorithms in this library return a {!result}: the local sensitivity,
+    a witness tuple attaining it, and the per-relation maxima. *)
+
+open Tsens_relational
+
+type witness = {
+  relation : string;  (** the relation the tuple belongs to *)
+  schema : Schema.t;  (** that relation's schema *)
+  tuple : Tuple.t;  (** a most sensitive tuple, over [schema] *)
+  sensitivity : Count.t;
+}
+
+type result = {
+  local_sensitivity : Count.t;
+  witness : witness option;
+      (** [None] only when every tuple of the domain has sensitivity 0 and
+          no representative tuple exists (e.g. all relations empty). *)
+  per_relation : (string * Count.t) list;
+      (** maximum tuple sensitivity within each relation's domain, in atom
+          order — the paper's Figure 6b view. *)
+}
+
+val result_of_per_relation :
+  (string * (Tuple.t * Schema.t * Count.t) option) list -> result
+(** Assembles a {!result} from per-relation best tuples ([None] when a
+    relation's domain is entirely insensitive). Ties across relations are
+    broken in list order. *)
+
+val pp_witness : Format.formatter -> witness -> unit
+val pp_result : Format.formatter -> result -> unit

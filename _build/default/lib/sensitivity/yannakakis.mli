@@ -1,0 +1,31 @@
+(** Yannakakis-style query evaluation for counting.
+
+    Computes the bag cardinality |Q(D)| of a full CQ in one bottom-up pass
+    over a join tree (or GHD bag tree), multiplying and summing
+    multiplicities — the "query evaluation" baseline of the paper's
+    Figure 7 and the building block of the naive sensitivity algorithm.
+    Exact under bag semantics. *)
+
+open Tsens_relational
+open Tsens_query
+
+val count_ghd : Ghd.t -> Database.t -> Count.t
+(** Bag output size of a connected query via its decomposition. *)
+
+val count : ?plans:Ghd.t list -> Cq.t -> Database.t -> Count.t
+(** Output size of an arbitrary full CQ: splits into connected
+    components, counts each (using the matching plan from [plans] when
+    given, else the GYO join tree, else {!Ghd.auto}), and multiplies.
+    Raises {!Errors.Schema_error} if a supplied plan does not match a
+    component. *)
+
+val default_plans : Cq.t -> Ghd.t list
+(** One decomposition per connected component: the width-1 GHD of the GYO
+    join tree when the component is acyclic, {!Ghd.auto} otherwise. *)
+
+val find_plan : Ghd.t list -> Cq.t -> Ghd.t option
+(** The plan whose atom set matches the component, if any. *)
+
+val output : Cq.t -> Database.t -> Relation.t
+(** The materialized join (atoms folded in order). Exponential output —
+    tests and examples only. *)

@@ -1,0 +1,1 @@
+lib/workload/facebook.ml: Array Count Hashtbl Int List Prng Relation Schema Tsens_relational Tuple Value

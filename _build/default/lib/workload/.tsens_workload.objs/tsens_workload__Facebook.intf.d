@@ -1,0 +1,1 @@
+lib/workload/facebook.mli: Relation Tsens_relational

@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Attr Cq Database Facebook Ghd Join_tree Printf Tpch Tsens_query Tsens_relational

@@ -1,0 +1,1 @@
+lib/workload/queries.mli: Attr Cq Database Facebook Ghd Tsens_query Tsens_relational

@@ -1,0 +1,1 @@
+lib/workload/sat_reduction.ml: Array Cq Database Hashtbl List Printf Prng Relation Schema Sens_types String Tsens Tsens_query Tsens_relational Tsens_sensitivity Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/sat_reduction.mli: Database Prng Tsens_query Tsens_relational Tsens_sensitivity

@@ -1,0 +1,1 @@
+lib/workload/tpch.ml: Array Database Float List Prng Relation Schema Tsens_relational Tuple Value

@@ -1,0 +1,120 @@
+open Tsens_relational
+
+type params = { nodes : int; edges : int; circles : int; seed : int }
+
+let default_params = { nodes = 225; edges = 6400; circles = 567; seed = 42 }
+
+type data = {
+  tables : (int * int) list array; (* 4 directed edge bags *)
+  triangles : ((int * int * int) * Count.t) list;
+}
+
+(* Skewed node sampling: squaring the uniform biases towards low ids, so
+   low-id nodes become hubs that sit in many circles. *)
+let skewed_node rng n =
+  let u = Prng.uniform rng in
+  min (n - 1) (int_of_float (float_of_int n *. u *. u))
+
+let generate params =
+  if params.nodes < 3 then invalid_arg "Facebook.generate: need >= 3 nodes";
+  let root = Prng.create params.seed in
+  let graph_rng = Prng.split root in
+  let circle_rng = Prng.split root in
+  (* Undirected base graph, dedup'd. *)
+  let edge_set = Hashtbl.create (2 * params.edges) in
+  let attempts = ref 0 in
+  let max_attempts = 40 * params.edges in
+  while Hashtbl.length edge_set < params.edges && !attempts < max_attempts do
+    incr attempts;
+    let a = skewed_node graph_rng params.nodes in
+    let b = skewed_node graph_rng params.nodes in
+    if a <> b then begin
+      let e = (min a b, max a b) in
+      if not (Hashtbl.mem edge_set e) then Hashtbl.add edge_set e ()
+    end
+  done;
+  let has_edge a b = Hashtbl.mem edge_set (min a b, max a b) in
+  (* Circles: skewed sizes, skewed membership. *)
+  let circle_edges =
+    List.init params.circles (fun _ ->
+        (* Sizes skew small (like SNAP circles); membership is uniform so
+           edge multiplicities — the number of circles of one residue
+           class containing both endpoints — stay in the single digits. *)
+        let u = Prng.uniform circle_rng in
+        let size = 2 + int_of_float (20.0 *. u *. u *. u) in
+        let members = Hashtbl.create size in
+        let tries = ref 0 in
+        while Hashtbl.length members < size && !tries < 20 * size do
+          incr tries;
+          Hashtbl.replace members (Prng.int circle_rng params.nodes) ()
+        done;
+        let members = Hashtbl.fold (fun m () acc -> m :: acc) members [] in
+        let members = List.sort Int.compare members in
+        (* Both directions of every base-graph edge inside the circle. *)
+        List.concat_map
+          (fun a ->
+            List.concat_map
+              (fun b ->
+                if a < b && has_edge a b then [ (a, b); (b, a) ] else [])
+              members)
+          members)
+  in
+  (* Rank circles by induced edge-set size (descending) and merge into
+     four bag tables by rank mod 4. *)
+  let ranked =
+    List.stable_sort
+      (fun e1 e2 -> Int.compare (List.length e2) (List.length e1))
+      circle_edges
+  in
+  let tables = Array.make 4 [] in
+  List.iteri
+    (fun rank edges -> tables.(rank mod 4) <- edges @ tables.(rank mod 4))
+    ranked;
+  (* Triangle table: the bag self-join R4(x,y) ⋈ R4(y,z) ⋈ R4(z,x) over
+     edge table 3. *)
+  let counts = Hashtbl.create 1024 in
+  List.iter
+    (fun e ->
+      let c = try Hashtbl.find counts e with Not_found -> 0 in
+      Hashtbl.replace counts e (c + 1))
+    tables.(3);
+  let adjacency = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun (x, y) c ->
+      let existing = try Hashtbl.find adjacency x with Not_found -> [] in
+      Hashtbl.replace adjacency x ((y, c) :: existing))
+    counts;
+  let neighbours x = try Hashtbl.find adjacency x with Not_found -> [] in
+  let triangles = ref [] in
+  Hashtbl.iter
+    (fun (x, y) c1 ->
+      List.iter
+        (fun (z, c2) ->
+          match Hashtbl.find_opt counts (z, x) with
+          | Some c3 ->
+              triangles :=
+                ((x, y, z), Count.mul c1 (Count.mul c2 c3)) :: !triangles
+          | None -> ())
+        (neighbours y))
+    counts;
+  { tables; triangles = !triangles }
+
+let edge_table d i =
+  if i < 0 || i > 3 then invalid_arg "Facebook.edge_table: index must be 0..3";
+  d.tables.(i)
+
+let triangle_count d = List.length d.triangles
+
+let v = Value.int
+
+let edge_relation d i ~x ~y =
+  Relation.of_tuples
+    ~schema:(Schema.of_list [ x; y ])
+    (List.map (fun (a, b) -> Tuple.of_list [ v a; v b ]) (edge_table d i))
+
+let triangle_relation d ~a ~b ~c =
+  Relation.create
+    ~schema:(Schema.of_list [ a; b; c ])
+    (List.map
+       (fun ((x, y, z), cnt) -> (Tuple.of_list [ v x; v y; v z ], cnt))
+       d.triangles)

@@ -1,0 +1,45 @@
+(** Synthetic ego-network data in the shape of the paper's Facebook
+    workload (SNAP ego-net of user 348: 225 nodes, ~6.4k directed edges,
+    567 social circles).
+
+    Substitution note (DESIGN.md): the SNAP download is replaced by a
+    seeded generator with the same structure — one ego graph with skewed
+    degrees, overlapping circles with skewed sizes, bidirected edges.
+    Per the paper's construction, each circle's induced edge set E_i is
+    ranked by size and merged into four bag-semantics edge tables
+    (E_i goes to R_{rank mod 4}); a triangle table materializes the
+    self-join R4(x,y) ⋈ R4(y,z) ⋈ R4(z,x). Heavy-tailed edge
+    multiplicities — the property the sensitivity experiments need —
+    arise from hub nodes being in many circles. *)
+
+open Tsens_relational
+
+type params = {
+  nodes : int;  (** graph vertices (default 225) *)
+  edges : int;  (** undirected edges before bidirecting (default 6400) *)
+  circles : int;  (** number of social circles (default 567) *)
+  seed : int;
+}
+
+val default_params : params
+
+type data
+(** Generated edge tables and triangles, independent of attribute
+    naming. *)
+
+val generate : params -> data
+
+val edge_table : data -> int -> (int * int) list
+(** [edge_table d i] for i ∈ 0..3: the directed edge bag of table R(i+1),
+    with repetitions for edges present in several circles of the same
+    residue class. Raises [Invalid_argument] outside 0..3. *)
+
+val triangle_count : data -> int
+
+val edge_relation : data -> int -> x:string -> y:string -> Relation.t
+(** Edge table i as a relation with the given attribute names (queries
+    bind the same tables to different variables). *)
+
+val triangle_relation : data -> a:string -> b:string -> c:string -> Relation.t
+(** The materialized triangle table over edge table 3 (the paper's R4
+    self-join), bag semantics. *)

@@ -1,0 +1,128 @@
+open Tsens_relational
+open Tsens_query
+open Tsens_sensitivity
+
+type literal = { var : int; negated : bool }
+type clause = literal list
+type formula = { vars : int; clauses : clause list }
+
+let make_formula ~vars clauses =
+  if vars < 1 then invalid_arg "Sat_reduction.make_formula: no variables";
+  List.iter
+    (fun clause ->
+      if clause = [] then
+        invalid_arg "Sat_reduction.make_formula: empty clause";
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun { var; _ } ->
+          if var < 0 || var >= vars then
+            invalid_arg "Sat_reduction.make_formula: variable out of range";
+          if Hashtbl.mem seen var then
+            invalid_arg
+              "Sat_reduction.make_formula: repeated variable in clause";
+          Hashtbl.add seen var ())
+        clause)
+    clauses;
+  { vars; clauses }
+
+let random_formula rng ~vars ~clauses =
+  if vars < 1 then invalid_arg "Sat_reduction.random_formula: no variables";
+  let width = min 3 vars in
+  let clause () =
+    let chosen = Hashtbl.create 4 in
+    while Hashtbl.length chosen < width do
+      Hashtbl.replace chosen (Prng.int rng vars) ()
+    done;
+    Hashtbl.fold
+      (fun var () acc -> { var; negated = Prng.bool rng } :: acc)
+      chosen []
+  in
+  make_formula ~vars (List.init clauses (fun _ -> clause ()))
+
+let var_attr i = Printf.sprintf "v%d" i
+
+let clause_satisfied clause assignment =
+  List.exists
+    (fun { var; negated } -> if negated then not assignment.(var) else assignment.(var))
+    clause
+
+(* All boolean tuples over the clause's variables that satisfy it:
+   2^width - 1 rows. *)
+let clause_relation clause =
+  let vars = List.map (fun l -> l.var) clause in
+  let width = List.length vars in
+  let schema = Schema.of_list (List.map var_attr vars) in
+  let rows = ref [] in
+  for mask = 0 to (1 lsl width) - 1 do
+    let lookup = Hashtbl.create 4 in
+    List.iteri
+      (fun pos var -> Hashtbl.replace lookup var (mask land (1 lsl pos) <> 0))
+      vars;
+    let satisfied =
+      List.exists
+        (fun { var; negated } ->
+          let value = Hashtbl.find lookup var in
+          if negated then not value else value)
+        clause
+    in
+    if satisfied then
+      rows :=
+        Tuple.of_list
+          (List.map (fun v -> Value.bool (Hashtbl.find lookup v)) vars)
+        :: !rows
+  done;
+  (schema, Relation.of_tuples ~schema !rows)
+
+let to_instance formula =
+  let r0_attrs = List.init formula.vars var_attr in
+  let clause_atoms =
+    List.mapi
+      (fun i clause ->
+        let name = Printf.sprintf "C%d" (i + 1) in
+        let schema, rel = clause_relation clause in
+        (name, Schema.attrs schema, rel))
+      formula.clauses
+  in
+  let cq =
+    Cq.make ~name:"sat"
+      (("R0", r0_attrs)
+      :: List.map (fun (name, attrs, _) -> (name, attrs)) clause_atoms)
+  in
+  let db =
+    Database.of_list
+      (("R0", Relation.empty (Schema.of_list r0_attrs))
+      :: List.map (fun (name, _, rel) -> (name, rel)) clause_atoms)
+  in
+  (cq, db)
+
+let brute_force_sat formula =
+  if formula.vars > 20 then
+    invalid_arg "Sat_reduction.brute_force_sat: too many variables";
+  let n = formula.vars in
+  let rec try_mask mask =
+    if mask >= 1 lsl n then false
+    else
+      let assignment = Array.init n (fun i -> mask land (1 lsl i) <> 0) in
+      if List.for_all (fun c -> clause_satisfied c assignment) formula.clauses
+      then true
+      else try_mask (mask + 1)
+  in
+  try_mask 0
+
+let satisfiable_via_sensitivity formula =
+  let cq, db = to_instance formula in
+  let result = Tsens.local_sensitivity cq db in
+  result.Sens_types.local_sensitivity > 0
+
+let assignment_of_witness formula witness =
+  if not (String.equal witness.Sens_types.relation "R0") then None
+  else
+    let assignment =
+      Array.init formula.vars (fun i ->
+          match Value.as_bool (Tuple.get witness.Sens_types.tuple i) with
+          | Some b -> b
+          | None -> false (* unconstrained variable: any value works *))
+    in
+    if List.for_all (fun c -> clause_satisfied c assignment) formula.clauses
+    then Some assignment
+    else None

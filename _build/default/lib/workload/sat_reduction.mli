@@ -1,0 +1,44 @@
+(** The 3SAT reduction behind Theorem 3.2 (NP-hardness of the local
+    sensitivity problem in combined complexity).
+
+    A formula with s clauses over l variables becomes an *acyclic* query
+    of s+1 atoms: one relation per clause holding its satisfying
+    assignments, plus an empty relation R0 over all variables. The
+    instance's local sensitivity is positive iff the formula is
+    satisfiable — the witness tuple (necessarily an insertion into R0) is
+    a satisfying assignment. Exercising TSens on these instances
+    demonstrates both the hardness frontier and the correctness of the
+    upward-sensitivity machinery on empty relations. *)
+
+open Tsens_relational
+
+type literal = { var : int; negated : bool }
+(** Variables are numbered from 0. *)
+
+type clause = literal list
+type formula = { vars : int; clauses : clause list }
+
+val make_formula : vars:int -> clause list -> formula
+(** Validates that every literal's variable is in range and clauses are
+    non-empty with distinct variables; raises [Invalid_argument]
+    otherwise. *)
+
+val random_formula : Prng.t -> vars:int -> clauses:int -> formula
+(** Random 3SAT (clauses over three distinct variables when [vars >= 3],
+    smaller otherwise). *)
+
+val to_instance : formula -> Tsens_query.Cq.t * Database.t
+(** The reduction: query [Q(v0..vl-1) :- R0(v0..), C1(..), ..., Cs(..)]
+    with R0 empty and each Ci holding the boolean tuples satisfying
+    clause i. The query is acyclic by construction. *)
+
+val brute_force_sat : formula -> bool
+(** 2^vars enumeration oracle (tests only; [vars] ≤ 20 enforced). *)
+
+val satisfiable_via_sensitivity : formula -> bool
+(** Theorem 3.2's criterion, decided with TSens: LS(Q, D) > 0. *)
+
+val assignment_of_witness : formula -> Tsens_sensitivity.Sens_types.witness -> bool array option
+(** Decodes a witness tuple into an assignment and checks it satisfies
+    the formula; [None] if the witness is not an R0 insertion or does not
+    satisfy. *)

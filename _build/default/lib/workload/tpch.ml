@@ -1,0 +1,127 @@
+open Tsens_relational
+
+let relation_names =
+  [
+    "Region"; "Nation"; "Supplier"; "Customer"; "Part"; "Partsupp"; "Orders";
+    "Lineitem";
+  ]
+
+let scaled scale base = max 1 (int_of_float (Float.round (float_of_int base *. scale)))
+
+let sizes ~scale =
+  if scale <= 0.0 then invalid_arg "Tpch.sizes: non-positive scale";
+  [
+    ("Region", 5);
+    ("Nation", 25);
+    ("Supplier", scaled scale 10_000);
+    ("Customer", scaled scale 150_000);
+    ("Part", scaled scale 200_000);
+    ("Partsupp", 4 * scaled scale 200_000);
+    ("Orders", scaled scale 1_500_000);
+    ("Lineitem", 4 * scaled scale 1_500_000);
+  ]
+
+let v = Value.int
+
+let generate ?(seed = 42) ~scale () =
+  let sizes = sizes ~scale in
+  let size name = List.assoc name sizes in
+  let root = Prng.create seed in
+  (* One independent stream per table keeps the data stable under
+     reordering of the generation code. *)
+  let stream_supplier = Prng.split root in
+  let stream_customer = Prng.split root in
+  let stream_partsupp = Prng.split root in
+  let stream_orders = Prng.split root in
+  let stream_lineitem = Prng.split root in
+  let region =
+    Relation.of_tuples
+      ~schema:(Schema.of_list [ "RK" ])
+      (List.init (size "Region") (fun i -> Tuple.of_list [ v i ]))
+  in
+  let nations = size "Nation" in
+  let nation =
+    Relation.of_tuples
+      ~schema:(Schema.of_list [ "RK"; "NK" ])
+      (List.init nations (fun i ->
+           Tuple.of_list [ v (i mod size "Region"); v i ]))
+  in
+  let suppliers = size "Supplier" in
+  let supplier =
+    Relation.of_tuples
+      ~schema:(Schema.of_list [ "NK"; "SK" ])
+      (List.init suppliers (fun i ->
+           Tuple.of_list [ v (Prng.int stream_supplier nations); v i ]))
+  in
+  let customers = size "Customer" in
+  let customer =
+    Relation.of_tuples
+      ~schema:(Schema.of_list [ "NK"; "CK" ])
+      (List.init customers (fun i ->
+           Tuple.of_list [ v (Prng.int stream_customer nations); v i ]))
+  in
+  let parts = size "Part" in
+  let part =
+    Relation.of_tuples
+      ~schema:(Schema.of_list [ "PK" ])
+      (List.init parts (fun i -> Tuple.of_list [ v i ]))
+  in
+  (* Four (not necessarily distinct) suppliers per part, as in dbgen's
+     PS table; a bag duplicate just raises that pair's multiplicity. *)
+  let partsupp_pairs =
+    Array.init (4 * parts) (fun i ->
+        (Prng.int stream_partsupp suppliers, i / 4))
+  in
+  let partsupp =
+    Relation.of_tuples
+      ~schema:(Schema.of_list [ "SK"; "PK" ])
+      (Array.to_list partsupp_pairs
+      |> List.map (fun (sk, pk) -> Tuple.of_list [ v sk; v pk ]))
+  in
+  let orders_n = size "Orders" in
+  let order_customers =
+    Array.init orders_n (fun _ -> Prng.int stream_orders customers)
+  in
+  let orders =
+    Relation.of_tuples
+      ~schema:(Schema.of_list [ "CK"; "OK" ])
+      (List.init orders_n (fun i -> Tuple.of_list [ v order_customers.(i); v i ]))
+  in
+  (* 1–7 lineitems per order (mean 4), each referencing a partsupp pair so
+     the q2/q3 joins connect. The total is trimmed/padded to the target
+     size to keep |Lineitem| = 4|Orders| exactly. *)
+  let target_lineitems = size "Lineitem" in
+  let lineitems = ref [] in
+  let produced = ref 0 in
+  let emit ok =
+    if !produced < target_lineitems then begin
+      let sk, pk =
+        partsupp_pairs.(Prng.int stream_lineitem (Array.length partsupp_pairs))
+      in
+      lineitems := Tuple.of_list [ v ok; v sk; v pk ] :: !lineitems;
+      incr produced
+    end
+  in
+  for ok = 0 to orders_n - 1 do
+    let per_order = 1 + Prng.int stream_lineitem 7 in
+    for _ = 1 to per_order do
+      emit ok
+    done
+  done;
+  while !produced < target_lineitems do
+    emit (Prng.int stream_lineitem orders_n)
+  done;
+  let lineitem =
+    Relation.of_tuples ~schema:(Schema.of_list [ "OK"; "SK"; "PK" ]) !lineitems
+  in
+  Database.of_list
+    [
+      ("Region", region);
+      ("Nation", nation);
+      ("Supplier", supplier);
+      ("Customer", customer);
+      ("Part", part);
+      ("Partsupp", partsupp);
+      ("Orders", orders);
+      ("Lineitem", lineitem);
+    ]

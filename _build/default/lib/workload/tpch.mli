@@ -1,0 +1,28 @@
+(** Synthetic TPC-H-style data (the paper's Section 7.1 schema).
+
+    A from-scratch, seeded generator with the benchmark's relative
+    cardinalities at scale 1 — Region 5, Nation 25, Supplier 10k,
+    Customer 150k, Part 200k, Partsupp 800k, Orders 1.5M, Lineitem 6M —
+    and the foreign-key distributions the queries join through: nations
+    round-robin over regions, uniform customer/supplier nations, four
+    suppliers per part, uniform order customers, 1–7 lineitems per order
+    each referencing an existing partsupp pair. Attribute names follow
+    the paper: RK, NK, CK, OK, SK, PK.
+
+    Substitution note (DESIGN.md): this replaces the dbgen tool; absolute
+    counts differ from dbgen's pseudo-random streams but the join-fanout
+    structure the sensitivity experiments measure is preserved. *)
+
+open Tsens_relational
+
+val relation_names : string list
+(** ["Region"; "Nation"; "Supplier"; "Customer"; "Part"; "Partsupp";
+    "Orders"; "Lineitem"]. *)
+
+val sizes : scale:float -> (string * int) list
+(** Target row counts at a scale factor (each at least 1; Region and
+    Nation do not scale). Raises [Invalid_argument] on non-positive
+    scale. *)
+
+val generate : ?seed:int -> scale:float -> unit -> Database.t
+(** Deterministic in [seed] (default 42) and [scale]. *)

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Classify Constraints Cq Database Errors Format Ghd Gyo Join_tree List Option Parser Relation Schema String Tgen Tsens_query Tsens_relational Tuple Value

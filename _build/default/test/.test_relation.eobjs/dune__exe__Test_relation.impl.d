@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Attr Count Csv Database Errors Filename Fun Heap Index Int Join List Prng QCheck2 Relation Schema String Sys Tgen Tsens_relational Tuple Value

@@ -1,0 +1,1 @@
+test/tgen.ml: Alcotest Array Format List QCheck2 QCheck_alcotest Relation Schema Tsens_relational Tuple Value

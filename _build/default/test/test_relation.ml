@@ -1,0 +1,610 @@
+(* Unit and property tests for the relational layer. *)
+
+open Tsens_relational
+
+let v = Value.int
+let s = Value.str
+let tup l = Tuple.of_list l
+let schema l = Schema.of_list l
+
+(* ------------------------------------------------------------------ *)
+(* Count *)
+
+let test_count_saturating_add () =
+  Alcotest.(check int) "normal" 5 (Count.add 2 3);
+  Alcotest.(check bool) "saturates" true
+    (Count.is_saturated (Count.add Count.max_count 1));
+  Alcotest.(check bool) "near-saturation" true
+    (Count.is_saturated (Count.add (Count.max_count - 1) 2))
+
+let test_count_saturating_mul () =
+  Alcotest.(check int) "normal" 6 (Count.mul 2 3);
+  Alcotest.(check int) "zero absorbs" 0 (Count.mul 0 Count.max_count);
+  Alcotest.(check bool) "saturates" true
+    (Count.is_saturated (Count.mul (Count.max_count / 2) 3));
+  Alcotest.(check bool) "saturated times one stays" true
+    (Count.is_saturated (Count.mul Count.max_count 1))
+
+let test_count_pow () =
+  Alcotest.(check int) "2^10" 1024 (Count.pow 2 10);
+  Alcotest.(check int) "x^0" 1 (Count.pow 7 0);
+  Alcotest.(check bool) "big pow saturates" true
+    (Count.is_saturated (Count.pow 10 40));
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Count.pow: negative exponent") (fun () ->
+      ignore (Count.pow 2 (-1)))
+
+let test_count_of_int () =
+  Alcotest.(check int) "clamps negatives" 0 (Count.of_int (-5));
+  Alcotest.(check int) "keeps positives" 5 (Count.of_int 5)
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_order () =
+  Alcotest.(check bool) "int < str" true (Value.compare (v 99) (s "a") < 0);
+  Alcotest.(check bool) "str < bool" true
+    (Value.compare (s "z") (Value.bool false) < 0);
+  Alcotest.(check bool) "ints ordered" true (Value.compare (v 1) (v 2) < 0);
+  Alcotest.(check bool) "equal ints" true (Value.equal (v 3) (v 3))
+
+let test_value_round_trip () =
+  let check x =
+    Alcotest.check Tgen.value_testable "round trip" x
+      (Value.of_string (Value.to_string x))
+  in
+  check (v 42);
+  check (v (-7));
+  check (s "hello_world");
+  check (Value.bool true);
+  check (Value.bool false)
+
+let test_value_accessors () =
+  Alcotest.(check (option int)) "as_int" (Some 5) (Value.as_int (v 5));
+  Alcotest.(check (option int)) "as_int on str" None (Value.as_int (s "x"));
+  Alcotest.(check (option string)) "as_str" (Some "x") (Value.as_str (s "x"));
+  Alcotest.(check (option bool))
+    "as_bool" (Some true)
+    (Value.as_bool (Value.bool true))
+
+(* ------------------------------------------------------------------ *)
+(* Schema *)
+
+let test_schema_duplicate () =
+  Alcotest.check_raises "duplicate attr"
+    (Errors.Schema_error "duplicate attribute A in schema") (fun () ->
+      ignore (schema [ "A"; "B"; "A" ]))
+
+let test_schema_set_ops () =
+  let ab = schema [ "A"; "B" ] and bc = schema [ "B"; "C" ] in
+  Alcotest.check Tgen.schema_testable "inter" (schema [ "B" ])
+    (Schema.inter ab bc);
+  Alcotest.check Tgen.schema_testable "union"
+    (schema [ "A"; "B"; "C" ])
+    (Schema.union ab bc);
+  Alcotest.check Tgen.schema_testable "diff" (schema [ "A" ])
+    (Schema.diff ab bc);
+  Alcotest.(check bool) "subset yes" true (Schema.subset (schema [ "B" ]) ab);
+  Alcotest.(check bool) "subset no" false (Schema.subset bc ab);
+  Alcotest.(check bool) "disjoint" true
+    (Schema.disjoint (schema [ "A" ]) (schema [ "C" ]))
+
+let test_schema_positions () =
+  let super = schema [ "A"; "B"; "C"; "D" ] in
+  let positions = Schema.positions ~sub:(schema [ "C"; "A" ]) super in
+  Alcotest.(check (array int)) "positions" [| 2; 0 |] positions;
+  Alcotest.check_raises "missing attr"
+    (Errors.Schema_error "attribute X not in schema") (fun () ->
+      ignore (Schema.positions ~sub:(schema [ "X" ]) super))
+
+let test_schema_rename () =
+  let r = Schema.rename [ ("A", "X") ] (schema [ "A"; "B" ]) in
+  Alcotest.check Tgen.schema_testable "renamed" (schema [ "X"; "B" ]) r;
+  Alcotest.check_raises "rename collision"
+    (Errors.Schema_error "duplicate attribute B in schema") (fun () ->
+      ignore (Schema.rename [ ("A", "B") ] (schema [ "A"; "B" ])))
+
+let test_schema_equal_as_sets () =
+  Alcotest.(check bool) "permuted equal" true
+    (Schema.equal_as_sets (schema [ "A"; "B" ]) (schema [ "B"; "A" ]));
+  Alcotest.(check bool) "ordered unequal" false
+    (Schema.equal (schema [ "A"; "B" ]) (schema [ "B"; "A" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Tuple *)
+
+let test_tuple_compare () =
+  Alcotest.(check bool) "lexicographic" true
+    (Tuple.compare (tup [ v 1; v 2 ]) (tup [ v 1; v 3 ]) < 0);
+  Alcotest.(check bool) "shorter first" true
+    (Tuple.compare (tup [ v 1 ]) (tup [ v 1; v 0 ]) < 0);
+  Alcotest.(check bool) "equal" true
+    (Tuple.equal (tup [ v 1; s "a" ]) (tup [ v 1; s "a" ]))
+
+let test_tuple_project () =
+  let t = tup [ v 10; v 20; v 30 ] in
+  Alcotest.check Tgen.tuple_testable "projection"
+    (tup [ v 30; v 10 ])
+    (Tuple.project [| 2; 0 |] t)
+
+(* ------------------------------------------------------------------ *)
+(* Relation *)
+
+let r1_fig1 =
+  (* R1(A,B,C) from the paper's Figure 1. *)
+  Relation.of_rows ~schema:(schema [ "A"; "B"; "C" ])
+    [
+      [ s "a1"; s "b1"; s "c1" ];
+      [ s "a1"; s "b2"; s "c1" ];
+      [ s "a2"; s "b1"; s "c1" ];
+    ]
+
+let test_relation_normalizes () =
+  let r =
+    Relation.create ~schema:(schema [ "A" ])
+      [ (tup [ v 1 ], 2); (tup [ v 1 ], 3); (tup [ v 2 ], 1) ]
+  in
+  Alcotest.(check int) "distinct" 2 (Relation.distinct_count r);
+  Alcotest.(check int) "cardinality" 6 (Relation.cardinality r);
+  Alcotest.(check int) "merged count" 5 (Relation.count_of (tup [ v 1 ]) r)
+
+let test_relation_create_validation () =
+  Alcotest.check_raises "arity mismatch"
+    (Errors.Data_error "row arity 1 does not match schema (A, B)") (fun () ->
+      ignore
+        (Relation.create ~schema:(schema [ "A"; "B" ]) [ (tup [ v 1 ], 1) ]));
+  Alcotest.check_raises "zero count"
+    (Errors.Data_error "non-positive multiplicity 0 for tuple (1)") (fun () ->
+      ignore (Relation.create ~schema:(schema [ "A" ]) [ (tup [ v 1 ], 0) ]))
+
+let test_relation_project_sums () =
+  let grouped = Relation.project (schema [ "A" ]) r1_fig1 in
+  Alcotest.(check int) "a1 multiplicity" 2
+    (Relation.count_of (tup [ s "a1" ]) grouped);
+  Alcotest.(check int) "a2 multiplicity" 1
+    (Relation.count_of (tup [ s "a2" ]) grouped);
+  (* Projecting on the empty schema yields a single nullary tuple carrying
+     the bag cardinality. *)
+  let total = Relation.project Schema.empty r1_fig1 in
+  Alcotest.(check int) "nullary count" 3 (Relation.count_of (tup []) total)
+
+let test_relation_filter () =
+  let keep schema t =
+    Value.equal (Tuple.get t (Schema.index "B" schema)) (s "b1")
+  in
+  let r = Relation.filter keep r1_fig1 in
+  Alcotest.(check int) "two b1 rows" 2 (Relation.distinct_count r)
+
+let test_relation_add_remove () =
+  let t = tup [ s "a9"; s "b9"; s "c9" ] in
+  let bigger = Relation.add t r1_fig1 in
+  Alcotest.(check int) "added" 1 (Relation.count_of t bigger);
+  let same = Relation.remove t bigger in
+  Alcotest.(check bool) "add then remove restores" true
+    (Relation.equal same r1_fig1);
+  Alcotest.(check bool) "removing absent is identity" true
+    (Relation.equal (Relation.remove t r1_fig1) r1_fig1);
+  let existing = tup [ s "a1"; s "b1"; s "c1" ] in
+  let smaller = Relation.remove existing r1_fig1 in
+  Alcotest.(check int) "removed one copy" 0 (Relation.count_of existing smaller)
+
+let test_relation_max_row () =
+  let r =
+    Relation.create ~schema:(schema [ "A" ])
+      [ (tup [ v 2 ], 5); (tup [ v 1 ], 5); (tup [ v 3 ], 1) ]
+  in
+  (match Relation.max_row r with
+  | Some (t, c) ->
+      Alcotest.check Tgen.tuple_testable "tie broken by tuple order"
+        (tup [ v 1 ]) t;
+      Alcotest.(check int) "count" 5 c
+  | None -> Alcotest.fail "expected a max row");
+  Alcotest.(check bool) "empty has none" true
+    (Relation.max_row (Relation.empty (schema [ "A" ])) = None)
+
+let test_relation_max_frequency () =
+  Alcotest.(check int) "mf over A" 2
+    (Relation.max_frequency ~over:(schema [ "A" ]) r1_fig1);
+  Alcotest.(check int) "mf over empty = cardinality" 3
+    (Relation.max_frequency ~over:Schema.empty r1_fig1);
+  Alcotest.(check int) "mf of empty relation" 0
+    (Relation.max_frequency ~over:(schema [ "A" ])
+       (Relation.empty (schema [ "A" ])))
+
+let test_relation_active_domain () =
+  Alcotest.(check (list string))
+    "domain of A" [ "a1"; "a2" ]
+    (List.filter_map Value.as_str (Relation.active_domain "A" r1_fig1))
+
+let test_relation_reorder () =
+  let r = Relation.of_rows ~schema:(schema [ "A"; "B" ]) [ [ v 1; v 2 ] ] in
+  let r' = Relation.reorder (schema [ "B"; "A" ]) r in
+  Alcotest.(check int) "value moved" 1 (Relation.count_of (tup [ v 2; v 1 ]) r');
+  Alcotest.(check bool) "semantic equality" true (Relation.equal_semantic r r')
+
+let test_relation_scale () =
+  let r = Relation.of_rows ~schema:(schema [ "A" ]) [ [ v 1 ] ] in
+  Alcotest.(check int) "scaled" 7 (Relation.cardinality (Relation.scale 7 r));
+  Alcotest.check_raises "bad factor"
+    (Errors.Data_error "scale: non-positive factor 0") (fun () ->
+      ignore (Relation.scale 0 r))
+
+let prop_project_preserves_cardinality =
+  Tgen.qtest "project preserves bag cardinality" Tgen.relation_gen
+    Tgen.print_relation (fun r ->
+      let keep =
+        Schema.restrict
+          ~keep:(fun a -> Attr.equal a "A" || Attr.equal a "B")
+          (Relation.schema r)
+      in
+      Relation.cardinality (Relation.project keep r) = Relation.cardinality r)
+
+let prop_mem_matches_count =
+  Tgen.qtest "mem agrees with count_of" Tgen.relation_gen Tgen.print_relation
+    (fun r ->
+      Relation.fold
+        (fun t _ acc -> acc && Relation.mem t r && Relation.count_of t r > 0)
+        r true)
+
+let prop_add_remove_round_trip =
+  Tgen.qtest "add then remove is identity" Tgen.relation_gen
+    Tgen.print_relation (fun r ->
+      let t =
+        Tuple.of_list
+          (List.map (fun _ -> v 99) (Schema.attrs (Relation.schema r)))
+      in
+      Relation.equal r (Relation.remove t (Relation.add t r)))
+
+(* ------------------------------------------------------------------ *)
+(* Join *)
+
+let test_join_figure1 () =
+  (* The full example of the paper's Figure 1: the natural join of the
+     four relations is the single tuple (a1,b1,c1,d1,e1,f1). *)
+  let r2 =
+    Relation.of_rows ~schema:(schema [ "A"; "B"; "D" ])
+      [ [ s "a1"; s "b1"; s "d1" ]; [ s "a2"; s "b2"; s "d2" ] ]
+  in
+  let r3 =
+    Relation.of_rows ~schema:(schema [ "A"; "E" ])
+      [ [ s "a1"; s "e1" ]; [ s "a2"; s "e1" ]; [ s "a2"; s "e2" ] ]
+  in
+  let r4 =
+    Relation.of_rows ~schema:(schema [ "B"; "F" ])
+      [ [ s "b1"; s "f1" ]; [ s "b2"; s "f1" ]; [ s "b2"; s "f2" ] ]
+  in
+  let out = Join.join_all [ r1_fig1; r2; r3; r4 ] in
+  Alcotest.(check int) "single output tuple" 1 (Relation.cardinality out);
+  let reordered =
+    Relation.reorder (schema [ "A"; "B"; "C"; "D"; "E"; "F" ]) out
+  in
+  let expected =
+    Tuple.of_list [ s "a1"; s "b1"; s "c1"; s "d1"; s "e1"; s "f1" ]
+  in
+  Alcotest.(check int) "expected tuple present" 1
+    (Relation.count_of expected reordered)
+
+let test_join_counts_multiply () =
+  let a =
+    Relation.create ~schema:(schema [ "A"; "B" ]) [ (tup [ v 1; v 2 ], 3) ]
+  in
+  let b =
+    Relation.create ~schema:(schema [ "B"; "C" ]) [ (tup [ v 2; v 5 ], 4) ]
+  in
+  let out = Join.natural_join a b in
+  Alcotest.(check int) "3*4" 12 (Relation.count_of (tup [ v 1; v 2; v 5 ]) out)
+
+let test_join_cross_product () =
+  let a = Relation.of_rows ~schema:(schema [ "A" ]) [ [ v 1 ]; [ v 2 ] ] in
+  let b = Relation.of_rows ~schema:(schema [ "B" ]) [ [ v 3 ]; [ v 4 ] ] in
+  Alcotest.(check int) "2x2 cross" 4
+    (Relation.cardinality (Join.natural_join a b))
+
+let test_semijoin () =
+  let a =
+    Relation.of_rows ~schema:(schema [ "A"; "B" ])
+      [ [ v 1; v 1 ]; [ v 2; v 2 ] ]
+  in
+  let b = Relation.of_rows ~schema:(schema [ "B" ]) [ [ v 1 ] ] in
+  let out = Join.semijoin a b in
+  Alcotest.(check int) "only matching row" 1 (Relation.distinct_count out);
+  Alcotest.(check int) "row preserved" 1
+    (Relation.count_of (tup [ v 1; v 1 ]) out)
+
+let prop_join_project_consistent =
+  Tgen.qtest "join_project = project o natural_join" Tgen.joinable_pair_gen
+    Tgen.print_relation_pair (fun (a, b) ->
+      let group = Schema.inter (Relation.schema a) (Relation.schema b) in
+      let fused = Join.join_project ~group a b in
+      let naive = Relation.project group (Join.natural_join a b) in
+      Relation.equal fused naive)
+
+let prop_count_join_consistent =
+  Tgen.qtest "count_join = |natural_join|" Tgen.joinable_pair_gen
+    Tgen.print_relation_pair (fun (a, b) ->
+      Join.count_join a b = Relation.cardinality (Join.natural_join a b))
+
+let prop_join_commutes_on_counts =
+  Tgen.qtest "join cardinality commutes" Tgen.joinable_pair_gen
+    Tgen.print_relation_pair (fun (a, b) ->
+      Relation.cardinality (Join.natural_join a b)
+      = Relation.cardinality (Join.natural_join b a))
+
+let prop_join_project_all_consistent =
+  Tgen.qtest "join_project_all = project o join_all"
+    QCheck2.Gen.(
+      pair Tgen.joinable_pair_gen Tgen.relation_gen >>= fun ((a, b), c) ->
+      return [ a; b; c ])
+    (fun rels -> String.concat "\n---\n" (List.map Tgen.print_relation rels))
+    (fun rels ->
+      let group =
+        Schema.inter
+          (Relation.schema (List.nth rels 0))
+          (Relation.schema (List.nth rels 1))
+      in
+      let fused = Join.join_project_all ~group rels in
+      let naive = Relation.project group (Join.join_all rels) in
+      Relation.equal fused naive)
+
+let prop_merge_join_equals_hash_join =
+  Tgen.qtest "merge join = hash join" Tgen.joinable_pair_gen
+    Tgen.print_relation_pair (fun (a, b) ->
+      Relation.equal (Join.merge_join a b) (Join.natural_join a b))
+
+let prop_merge_join_cross_product =
+  Tgen.qtest "merge join handles cross products" Tgen.relation_gen
+    Tgen.print_relation (fun r ->
+      (* Join against a disjoint-schema relation: both implementations
+         degrade to the counted cross product. *)
+      let other =
+        Relation.create
+          ~schema:(Schema.of_list [ "Z1"; "Z2" ])
+          [
+            (Tuple.of_list [ v 1; v 2 ], 2);
+            (Tuple.of_list [ v 3; v 4 ], 1);
+          ]
+      in
+      Relation.equal (Join.merge_join r other) (Join.natural_join r other))
+
+let prop_semijoin_no_growth =
+  Tgen.qtest "semijoin never grows" Tgen.joinable_pair_gen
+    Tgen.print_relation_pair (fun (a, b) ->
+      Relation.cardinality (Join.semijoin a b) <= Relation.cardinality a)
+
+(* ------------------------------------------------------------------ *)
+(* Index *)
+
+let test_index_groups () =
+  let idx = Index.build ~key:(schema [ "A" ]) r1_fig1 in
+  Alcotest.(check int) "a1 group" 2 (Index.group_count idx (tup [ s "a1" ]));
+  Alcotest.(check int) "a2 group" 1 (Index.group_count idx (tup [ s "a2" ]));
+  Alcotest.(check int) "absent group" 0 (Index.group_count idx (tup [ s "zz" ]));
+  Alcotest.(check int) "max group" 2 (Index.max_group_count idx);
+  Alcotest.(check int) "a1 rows" 2
+    (List.length (Index.lookup idx (tup [ s "a1" ])))
+
+let test_index_empty_key () =
+  let idx = Index.build ~key:Schema.empty r1_fig1 in
+  Alcotest.(check int) "everything in one group" 3
+    (Index.group_count idx (tup []))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_basics () =
+  let h = Heap.of_list ~cmp:Int.compare [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  Alcotest.(check int) "size" 8 (Heap.size h);
+  let rec drain h acc =
+    match Heap.pop h with
+    | None -> List.rev acc
+    | Some (x, h) -> drain h (x :: acc)
+  in
+  Alcotest.(check (list int))
+    "pops descending"
+    [ 9; 6; 5; 4; 3; 2; 1; 1 ]
+    (drain h []);
+  Alcotest.(check bool) "empty" true (Heap.is_empty (Heap.empty ~cmp:Int.compare));
+  Alcotest.(check bool) "pop empty" true
+    (Heap.pop (Heap.empty ~cmp:Int.compare) = None)
+
+let prop_heap_sorts =
+  Tgen.qtest "heap drains in sorted order"
+    QCheck2.Gen.(list_size (int_range 0 50) (int_range (-100) 100))
+    (fun l -> String.concat "," (List.map string_of_int l))
+    (fun l ->
+      let rec drain h acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (x, h) -> drain h (x :: acc)
+      in
+      drain (Heap.of_list ~cmp:Int.compare l) []
+      = List.sort (fun a b -> Int.compare b a) l)
+
+(* ------------------------------------------------------------------ *)
+(* Database *)
+
+let test_database_basics () =
+  let db = Database.of_list [ ("R1", r1_fig1) ] in
+  Alcotest.(check (list string)) "names" [ "R1" ] (Database.names db);
+  Alcotest.(check int) "total" 3 (Database.total_tuples db);
+  Alcotest.(check bool) "mem" true (Database.mem "R1" db);
+  let db = Database.update ~name:"R1" (Relation.scale 2) db in
+  Alcotest.(check int) "updated" 6 (Database.total_tuples db);
+  Alcotest.check_raises "unknown relation"
+    (Errors.Data_error "unknown relation R9") (fun () ->
+      ignore (Database.find "R9" db))
+
+(* ------------------------------------------------------------------ *)
+(* CSV *)
+
+let prop_csv_round_trip =
+  Tgen.qtest ~count:50 "csv round trip" Tgen.relation_gen Tgen.print_relation
+    (fun r ->
+      let path = Filename.temp_file "tsens" ".csv" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Csv.write_file path r;
+          Relation.equal r (Csv.read_file path)))
+
+let test_csv_schema_checks () =
+  let path = Filename.temp_file "tsens" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write_file path r1_fig1;
+      (* Matching expected schema is accepted; a different one refused. *)
+      let reread = Csv.read_file ~schema:(schema [ "A"; "B"; "C" ]) path in
+      Alcotest.(check bool) "schema accepted" true
+        (Relation.equal r1_fig1 reread);
+      Alcotest.(check bool) "schema mismatch rejected" true
+        (match Csv.read_file ~schema:(schema [ "X"; "Y"; "Z" ]) path with
+        | exception Errors.Data_error _ -> true
+        | _ -> false);
+      (* Missing cnt column in the header. *)
+      let oc = open_out path in
+      output_string oc "A,B\n1,2\n";
+      close_out oc;
+      Alcotest.(check bool) "missing cnt column" true
+        (match Csv.read_file path with
+        | exception Errors.Data_error _ -> true
+        | _ -> false))
+
+let test_csv_rejects_garbage () =
+  let path = Filename.temp_file "tsens" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "A,cnt\n1,notanumber\n";
+      close_out oc;
+      Alcotest.check_raises "invalid count"
+        (Errors.Data_error
+           "CSV row \"1,notanumber\" has invalid count \"notanumber\"")
+        (fun () -> ignore (Csv.read_file path)))
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let seq_a = List.init 16 (fun _ -> Prng.int a 1000) in
+  let seq_b = List.init 16 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check (list int)) "same seed same stream" seq_a seq_b;
+  let c = Prng.create 43 in
+  let seq_c = List.init 16 (fun _ -> Prng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (seq_a <> seq_c)
+
+let test_prng_bounds () =
+  let t = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int t 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10);
+    let y = Prng.int_in t 5 9 in
+    Alcotest.(check bool) "int_in range" true (y >= 5 && y <= 9);
+    let u = Prng.uniform t in
+    Alcotest.(check bool) "uniform open interval" true (u > 0.0 && u < 1.0)
+  done
+
+let test_prng_shuffle_is_permutation () =
+  let t = Prng.create 11 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_split_independent () =
+  let parent = Prng.create 1 in
+  let child = Prng.split parent in
+  let a = List.init 8 (fun _ -> Prng.int parent 100) in
+  let b = List.init 8 (fun _ -> Prng.int child 100) in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "count",
+        [
+          Alcotest.test_case "saturating add" `Quick test_count_saturating_add;
+          Alcotest.test_case "saturating mul" `Quick test_count_saturating_mul;
+          Alcotest.test_case "pow" `Quick test_count_pow;
+          Alcotest.test_case "of_int" `Quick test_count_of_int;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "ordering" `Quick test_value_order;
+          Alcotest.test_case "string round trip" `Quick test_value_round_trip;
+          Alcotest.test_case "accessors" `Quick test_value_accessors;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "duplicates rejected" `Quick test_schema_duplicate;
+          Alcotest.test_case "set operations" `Quick test_schema_set_ops;
+          Alcotest.test_case "positions" `Quick test_schema_positions;
+          Alcotest.test_case "rename" `Quick test_schema_rename;
+          Alcotest.test_case "set equality" `Quick test_schema_equal_as_sets;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "compare" `Quick test_tuple_compare;
+          Alcotest.test_case "project" `Quick test_tuple_project;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "normalization" `Quick test_relation_normalizes;
+          Alcotest.test_case "validation" `Quick test_relation_create_validation;
+          Alcotest.test_case "project sums counts" `Quick
+            test_relation_project_sums;
+          Alcotest.test_case "filter" `Quick test_relation_filter;
+          Alcotest.test_case "add/remove" `Quick test_relation_add_remove;
+          Alcotest.test_case "max_row" `Quick test_relation_max_row;
+          Alcotest.test_case "max_frequency" `Quick test_relation_max_frequency;
+          Alcotest.test_case "active_domain" `Quick test_relation_active_domain;
+          Alcotest.test_case "reorder" `Quick test_relation_reorder;
+          Alcotest.test_case "scale" `Quick test_relation_scale;
+          prop_project_preserves_cardinality;
+          prop_mem_matches_count;
+          prop_add_remove_round_trip;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "paper figure 1" `Quick test_join_figure1;
+          Alcotest.test_case "counts multiply" `Quick test_join_counts_multiply;
+          Alcotest.test_case "cross product" `Quick test_join_cross_product;
+          Alcotest.test_case "semijoin" `Quick test_semijoin;
+          prop_join_project_consistent;
+          prop_count_join_consistent;
+          prop_join_commutes_on_counts;
+          prop_join_project_all_consistent;
+          prop_merge_join_equals_hash_join;
+          prop_merge_join_cross_product;
+          prop_semijoin_no_growth;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "groups" `Quick test_index_groups;
+          Alcotest.test_case "empty key" `Quick test_index_empty_key;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basics" `Quick test_heap_basics;
+          prop_heap_sorts;
+        ] );
+      ("database", [ Alcotest.test_case "basics" `Quick test_database_basics ]);
+      ( "csv",
+        [
+          prop_csv_round_trip;
+          Alcotest.test_case "schema checks" `Quick test_csv_schema_checks;
+          Alcotest.test_case "rejects garbage" `Quick test_csv_rejects_garbage;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_prng_shuffle_is_permutation;
+          Alcotest.test_case "split independence" `Quick
+            test_prng_split_independent;
+        ] );
+    ]

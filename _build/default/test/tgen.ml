@@ -1,0 +1,62 @@
+(* Shared QCheck generators and Alcotest testables for all suites. *)
+
+open Tsens_relational
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+let tuple_testable = Alcotest.testable Tuple.pp Tuple.equal
+let schema_testable = Alcotest.testable Schema.pp Schema.equal
+let relation_testable = Alcotest.testable Relation.pp Relation.equal
+
+let relation_semantic =
+  Alcotest.testable Relation.pp Relation.equal_semantic
+
+(* Small integer values keep join selectivity high so random relations
+   actually join. *)
+let value_gen =
+  QCheck2.Gen.(map Value.int (int_range 0 4))
+
+let tuple_gen arity =
+  QCheck2.Gen.(map Tuple.of_list (list_repeat arity value_gen))
+
+let attr_pool = [| "A"; "B"; "C"; "D"; "E"; "F" |]
+
+let schema_gen =
+  (* A random non-empty sub-list of the pool, keeping pool order so the
+     result has no duplicates. *)
+  QCheck2.Gen.(
+    list_repeat (Array.length attr_pool) bool >>= fun mask ->
+    let attrs =
+      List.filteri (fun i _ -> List.nth mask i) (Array.to_list attr_pool)
+    in
+    let attrs = if attrs = [] then [ "A" ] else attrs in
+    return (Schema.of_list attrs))
+
+let relation_of_schema_gen schema =
+  QCheck2.Gen.(
+    list_size (int_range 0 12)
+      (pair (tuple_gen (Schema.arity schema)) (int_range 1 3))
+    >>= fun rows -> return (Relation.create ~schema rows))
+
+let relation_gen = QCheck2.Gen.(schema_gen >>= relation_of_schema_gen)
+
+(* A pair of relations guaranteed to share at least one attribute. *)
+let joinable_pair_gen =
+  QCheck2.Gen.(
+    schema_gen >>= fun s1 ->
+    schema_gen >>= fun s2 ->
+    let s2 =
+      if Schema.disjoint s1 s2 then
+        Schema.union s2 (Schema.of_list [ List.hd (Schema.attrs s1) ])
+      else s2
+    in
+    relation_of_schema_gen s1 >>= fun r1 ->
+    relation_of_schema_gen s2 >>= fun r2 -> return (r1, r2))
+
+let print_relation r = Format.asprintf "%a" Relation.pp r
+
+let print_relation_pair (a, b) =
+  Format.asprintf "%a@.---@.%a" Relation.pp a Relation.pp b
+
+let qtest ?(count = 200) name gen print prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name ~print gen prop)
