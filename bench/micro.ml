@@ -116,6 +116,27 @@ let tests =
       test_kernel_laplace;
     ]
 
+(* One observability-instrumented pass over a representative workload
+   (TSens + Elastic analysis and a TSensDP release on q1): the obs half
+   of BENCH_obs.json. Runs with the sink enabled, unlike the bechamel
+   kernels above, which time the production disabled-sink path. *)
+let instrumented_report () =
+  let tpch = Lazy.force tpch in
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable (fun () ->
+      let analysis =
+        Tsens.analyze ~plans:Queries.tpch_plans Queries.q1 tpch
+      in
+      ignore
+        (Elastic.local_sensitivity ~plans:Queries.tpch_plans Queries.q1 tpch);
+      let rng = Prng.create 7 in
+      ignore
+        (Mechanism.run_with_analysis rng
+           (Mechanism.default_config ~ell:100 ~private_relation:"Customer")
+           analysis));
+  Obs.Report.capture ()
+
 let run () =
   Bench_util.print_heading "Bechamel micro-benchmarks (monotonic clock)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -124,16 +145,21 @@ let run () =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
+  let estimates =
     Hashtbl.fold
       (fun name ols acc ->
-        let estimate =
-          match Analyze.OLS.estimates ols with
-          | Some (e :: _) -> Bench_util.seconds_to_string (e /. 1e9)
-          | Some [] | None -> "n/a"
-        in
-        [ name; estimate ] :: acc)
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> (name, e /. 1e9) :: acc
+        | Some [] | None -> acc)
       results []
     |> List.sort compare
   in
-  Bench_util.print_table ~columns:[ "benchmark"; "time/run" ] rows
+  let rows =
+    List.map
+      (fun (name, seconds) ->
+        [ name; Bench_util.seconds_to_string seconds ])
+      estimates
+  in
+  Bench_util.print_table ~columns:[ "benchmark"; "time/run" ] rows;
+  Bench_util.write_obs_json ~path:"BENCH_obs.json" ~benchmarks:estimates
+    (instrumented_report ())

@@ -73,6 +73,44 @@ let load_database cq dir =
   in
   Database.of_list (List.map load (Cq.relation_names cq))
 
+(* --trace / --stats: run the command with the observability sink live
+   and render the captured spans/counters afterwards. --trace goes to
+   stderr so it composes with machine-read stdout; --stats json|pretty
+   goes to stdout and is the machine-readable path. *)
+let stats_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("pretty", `Pretty); ("json", `Json) ])) None
+    & info [ "stats" ] ~docv:"FORMAT"
+        ~doc:
+          "Print operator-level observability (timed spans, row/probe \
+           counters) after the command, as $(b,pretty) or $(b,json).")
+
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print the observability report to stderr when done.")
+
+let with_observability ~stats ~trace f =
+  let active = trace || stats <> None in
+  if active then begin
+    Obs.reset ();
+    Obs.enable ()
+  end;
+  let report () =
+    if active then begin
+      Obs.disable ();
+      let r = Obs.Report.capture () in
+      if trace then Format.eprintf "%a@." Obs.Report.pp r;
+      match stats with
+      | Some `Pretty -> Format.printf "%a@." Obs.Report.pp r
+      | Some `Json -> Format.printf "%s@." (Obs.Report.to_json r)
+      | None -> ()
+    end
+  in
+  Fun.protect ~finally:report f
+
 let handle_errors f =
   try f (); 0 with
   | Errors.Schema_error m | Errors.Data_error m ->
@@ -178,8 +216,9 @@ let explain_flag =
     & info [ "explain" ]
         ~doc:"Print intermediate topjoin/botjoin and table sizes.")
 
-let run_sensitivity query data algorithm k tables explain sql =
+let run_sensitivity query data algorithm k tables explain sql stats trace =
   handle_errors (fun () ->
+      with_observability ~stats ~trace @@ fun () ->
       let cq, constraints, db = prepare ~sql query data in
       let selection = Constraints.selection constraints in
       let need_selection_support name =
@@ -221,7 +260,7 @@ let sensitivity_cmd =
        ~doc:"Local sensitivity of a counting query over CSV relations.")
     Term.(
       const run_sensitivity $ query_arg $ data_dir_arg $ algorithm_arg $ k_arg
-      $ tables_flag $ explain_flag $ sql_flag)
+      $ tables_flag $ explain_flag $ sql_flag $ stats_arg $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
 (* generate *)
@@ -286,8 +325,9 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 (* dp *)
 
-let run_dp query data private_relation epsilon ell seed sql =
+let run_dp query data private_relation epsilon ell seed sql stats trace =
   handle_errors (fun () ->
+      with_observability ~stats ~trace @@ fun () ->
       let cq, constraints, db = prepare ~sql query data in
       let selection = Constraints.selection constraints in
       let analysis = Tsens.analyze ?selection cq db in
@@ -323,7 +363,7 @@ let dp_cmd =
        ~doc:"Release the counting query's answer with TSensDP (epsilon-DP).")
     Term.(
       const run_dp $ query_arg $ data_dir_arg $ private_rel $ epsilon $ ell
-      $ seed_arg $ sql_flag)
+      $ seed_arg $ sql_flag $ stats_arg $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
 

@@ -18,6 +18,7 @@ let validate config =
 
 let run_with_analysis rng config analysis =
   validate config;
+  Obs.span "dp.mechanism" @@ fun () ->
   let profile = Truncation.profile analysis config.private_relation in
   let epsilon_threshold = config.epsilon *. config.threshold_fraction in
   let epsilon_answer = config.epsilon -. epsilon_threshold in

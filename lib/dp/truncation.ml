@@ -7,7 +7,10 @@ type profile = {
   dropped_mass : Count.t array; (* suffix Σ cnt: tuples dropped above each delta *)
 }
 
+let c_entries = Obs.counter "truncation.entries_profiled"
+
 let profile analysis relation =
+  Obs.span "truncation.profile" @@ fun () ->
   let rel = Tsens.instance_relation analysis relation in
   let entries =
     Relation.fold
@@ -17,6 +20,7 @@ let profile analysis relation =
       rel []
   in
   let entries = Array.of_list entries in
+  Obs.add c_entries (Array.length entries);
   Array.sort (fun (d1, _) (d2, _) -> Count.compare d1 d2) entries;
   let n = Array.length entries in
   let deltas = Array.map fst entries in
@@ -60,6 +64,7 @@ let tuples_dropped p threshold =
   if i >= Array.length p.dropped_mass then Count.zero else p.dropped_mass.(i)
 
 let truncate_database analysis relation threshold db =
+  Obs.span "truncation.truncate" @@ fun () ->
   let atom_order = Relation.schema (Tsens.instance_relation analysis relation) in
   Database.update ~name:relation
     (fun rel ->

@@ -20,6 +20,9 @@ let pow c k =
 let compare = Int.compare
 let equal = Int.equal
 let max a b = if a >= b then a else b
-let of_int n = if n < 0 then 0 else n
+let of_int n =
+  if n < 0 then
+    invalid_arg (Printf.sprintf "Count.of_int: negative multiplicity %d" n);
+  n
 let to_string c = if is_saturated c then "overflow" else string_of_int c
 let pp ppf c = Format.pp_print_string ppf (to_string c)

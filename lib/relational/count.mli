@@ -35,7 +35,9 @@ val equal : t -> t -> bool
 val max : t -> t -> t
 
 val of_int : int -> t
-(** [of_int n] clamps a possibly-negative [n] to [[0, max_count]]. *)
+(** [of_int n] is [n]. Raises [Invalid_argument] if [n < 0]: a negative
+    multiplicity is always an upstream accounting bug, and clamping it
+    to zero would silently understate a sensitivity. *)
 
 val to_string : t -> string
 (** Renders saturated values as ["overflow"]. *)

@@ -1,17 +1,37 @@
+let is_blank c = c = ' ' || c = '\t'
+
+(* Only fields that parse back to themselves may be written: commas and
+   newlines would split, and leading/trailing blanks would survive the
+   writer verbatim but are indistinguishable from sloppy hand-edited
+   padding on the way back in. *)
 let check_field s =
   if String.exists (fun c -> c = ',' || c = '\n' || c = '\r') s then
     Errors.data_errorf "CSV field %S contains a separator" s;
+  if s <> "" && (is_blank s.[0] || is_blank s.[String.length s - 1]) then
+    Errors.data_errorf
+      "CSV field %S has leading or trailing whitespace and would not \
+       round-trip" s;
   s
+
+let check_header_field s =
+  if s = "" then Errors.data_errorf "CSV header has an empty attribute name";
+  check_field s
 
 let output oc rel =
   let schema = Relation.schema rel in
   let header =
-    String.concat "," (List.map check_field (Schema.attrs schema) @ [ "cnt" ])
+    String.concat ","
+      (List.map check_header_field (Schema.attrs schema) @ [ "cnt" ])
   in
   output_string oc header;
   output_char oc '\n';
   Relation.iter
     (fun tup cnt ->
+      if Count.is_saturated cnt then
+        Errors.data_errorf
+          "CSV output: tuple %a has a saturated count, which only means \
+           'at least %d' and cannot be exported as an exact multiplicity"
+          Tuple.pp tup Count.max_count;
       let fields =
         Array.to_list tup
         |> List.map (fun v -> check_field (Value.to_string v))
@@ -24,7 +44,15 @@ let write_file path rel =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc rel)
 
-let split_line line = String.split_on_char ',' (String.trim line)
+(* [input_line] already strips the '\n'; only a Windows '\r' remains to
+   drop. Trimming more would corrupt fields with genuine edge
+   whitespace — the writer rejects those, but externally produced files
+   may carry them and must be read faithfully. *)
+let chomp line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let split_line line = String.split_on_char ',' (chomp line)
 
 let input ?schema ic =
   let header =

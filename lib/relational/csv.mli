@@ -2,10 +2,14 @@
 
     Format: a header line with the attribute names followed by a final
     [cnt] column, then one line per distinct tuple. Values are rendered
-    with {!Value.to_string} and parsed back with {!Value.of_string};
-    values containing commas or newlines are unsupported (generated
-    workloads never produce them) and raise {!Errors.Data_error} on
-    export. *)
+    with {!Value.to_string} and parsed back with {!Value.of_string}.
+
+    Export rejects with {!Errors.Data_error} anything that would not
+    round-trip: fields containing commas or newlines, fields with
+    leading/trailing whitespace, empty attribute names, and saturated
+    counts (a saturated {!Count.t} is only a lower bound, not an exact
+    multiplicity). Import strips exactly one trailing ['\r'] per line
+    (Windows files); all other whitespace inside fields is preserved. *)
 
 val output : out_channel -> Relation.t -> unit
 val write_file : string -> Relation.t -> unit

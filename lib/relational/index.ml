@@ -1,5 +1,10 @@
 (* Keyed once at build; lookups share the precomputed key positions. *)
 
+let c_builds = Obs.counter "index.builds"
+let c_probes = Obs.counter "index.probes"
+let c_rows = Obs.counter "index.rows_indexed"
+let g_group = Obs.gauge "index.max_group_rows"
+
 module H = Hashtbl.Make (struct
   type t = Tuple.t
 
@@ -15,6 +20,7 @@ type t = {
 }
 
 let build ~key rel =
+  Obs.span "index.build" @@ fun () ->
   let source = Relation.schema rel in
   if not (Schema.subset key source) then
     Errors.schema_errorf "index key %a not a subset of %a" Schema.pp key
@@ -30,12 +36,22 @@ let build ~key rel =
       let prev_c = try H.find counts k with Not_found -> 0 in
       H.replace counts k (Count.add prev_c cnt))
     rel;
+  if Obs.enabled () then begin
+    Obs.tick c_builds;
+    Obs.add c_rows (Relation.distinct_count rel);
+    H.iter (fun _ rows -> Obs.observe g_group (List.length rows)) groups
+  end;
   { key; source; groups; counts }
 
 let key_schema t = t.key
 let source_schema t = t.source
-let lookup t k = try H.find t.groups k with Not_found -> []
-let group_count t k = try H.find t.counts k with Not_found -> 0
+let lookup t k =
+  Obs.tick c_probes;
+  try H.find t.groups k with Not_found -> []
+
+let group_count t k =
+  Obs.tick c_probes;
+  try H.find t.counts k with Not_found -> 0
 
 let max_group_count t =
   H.fold (fun _ c acc -> Count.max c acc) t.counts Count.zero

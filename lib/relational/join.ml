@@ -3,6 +3,19 @@
    always: left tuple ++ (right tuple minus common attributes), matching
    [Schema.union left right]. *)
 
+let c_rows = Obs.counter "join.rows_emitted"
+let c_sat = Obs.counter "count.saturations"
+let g_groups = Obs.gauge "join.max_group_table_rows"
+
+(* Emitting is the per-row hot path: only interpose on it when the sink
+   is live, so the disabled cost stays at the operators' entry branches. *)
+let instrument_emit emit =
+  if not (Obs.enabled ()) then emit
+  else fun tup cnt ->
+    Obs.tick c_rows;
+    if Count.is_saturated cnt then Obs.tick c_sat;
+    emit tup cnt
+
 type plan = {
   combined : Schema.t;
   common_left : int array; (* positions of common attrs in the left schema *)
@@ -30,6 +43,8 @@ let combine plan left_tup right_tup =
   Tuple.concat left_tup (Tuple.project plan.right_extra right_tup)
 
 let stream_join a b emit =
+  Obs.span "join.stream" @@ fun () ->
+  let emit = instrument_emit emit in
   let plan = make_plan (Relation.schema a) (Relation.schema b) in
   let idx = build_right_index plan b in
   Relation.iter
@@ -55,6 +70,7 @@ module H = Hashtbl.Make (struct
 end)
 
 let join_project ~group a b =
+  Obs.span "join.project" @@ fun () ->
   let combined = Schema.union (Relation.schema a) (Relation.schema b) in
   if not (Schema.subset group combined) then
     Errors.schema_errorf "join_project: %a not a subset of joined schema %a"
@@ -67,6 +83,7 @@ let join_project ~group a b =
     H.replace table key (Count.add prev cnt)
   in
   let (_ : Schema.t) = stream_join a b emit in
+  Obs.observe g_groups (H.length table);
   Relation.create ~schema:group (H.fold (fun t c acc -> (t, c) :: acc) table [])
 
 let join_all = function
@@ -76,6 +93,7 @@ let join_all = function
 (* Sort-merge: both sides keyed by their common-attribute projection and
    sorted; equal-key runs pair up as block cross products. *)
 let merge_join a b =
+  Obs.span "join.merge" @@ fun () ->
   let plan = make_plan (Relation.schema a) (Relation.schema b) in
   let keyed rel positions =
     let rows = Relation.rows rel in
@@ -121,6 +139,12 @@ let merge_join a b =
       j := j_end
     end
   done;
+  if Obs.enabled () then
+    List.iter
+      (fun (_, c) ->
+        Obs.tick c_rows;
+        if Count.is_saturated c then Obs.tick c_sat)
+      !out;
   Relation.create ~schema:plan.combined !out
 
 (* Greedy connected ordering: start from the widest relation and keep
@@ -162,6 +186,7 @@ let connected_order rels =
   List.rev !ordered
 
 let join_project_all ~group rels =
+  Obs.span "join.project_all" @@ fun () ->
   match connected_order rels with
   | [] -> invalid_arg "Join.join_project_all: empty list"
   | [ r ] -> Relation.project group r
@@ -196,6 +221,7 @@ let semijoin a b =
     a
 
 let count_join a b =
+  Obs.span "join.count" @@ fun () ->
   let total = ref Count.zero in
   let plan = make_plan (Relation.schema a) (Relation.schema b) in
   let idx = build_right_index plan b in

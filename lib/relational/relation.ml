@@ -68,7 +68,11 @@ let fold f r init =
 
 let iter f r = Array.iter (fun (tup, cnt) -> f tup cnt) r.rows
 
+let c_projected = Obs.counter "relation.rows_projected"
+
 let project target r =
+  Obs.span "relation.project" @@ fun () ->
+  Obs.add c_projected (Array.length r.rows);
   if not (Schema.subset target r.schema) then
     Errors.schema_errorf "project: %a is not a subset of %a" Schema.pp target
       Schema.pp r.schema;

@@ -40,6 +40,9 @@ let rec plan_schema cq = function
    smaller. The recursion branches four ways per join node, so results
    are memoized on (sub-plan, attribute set) — sub-plans are identified
    by their atom list, which is unique in a self-join-free query. *)
+let c_mf_evals = Obs.counter "elastic.mf_evals"
+let c_memo_hits = Obs.counter "elastic.memo_hits"
+
 let max_frequency_memo cq db =
   let memo = Hashtbl.create 64 in
   let rec mf plan attrs =
@@ -47,8 +50,11 @@ let max_frequency_memo cq db =
       (String.concat "," (plan_atoms plan), Schema.attrs attrs)
     in
     match Hashtbl.find_opt memo key with
-    | Some c -> c
+    | Some c ->
+        Obs.tick c_memo_hits;
+        c
     | None ->
+        Obs.tick c_mf_evals;
         let result =
           match plan with
           | Leaf r ->
@@ -99,6 +105,7 @@ let relation_sensitivity cq db plan target =
   relation_sensitivity_with (max_frequency_memo cq db) cq plan target
 
 let local_sensitivity ?plans cq db =
+  Obs.span "elastic.analyze" @@ fun () ->
   let db = Database.of_list (Cq.instance cq db) in
   let plan = plan_of_cq ?plans cq in
   let mf = max_frequency_memo cq db in

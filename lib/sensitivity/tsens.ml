@@ -12,7 +12,19 @@ type table =
   | Dense of Relation.t
   | Factored of { schema : Schema.t; parts : Relation.t list; factor : Count.t }
 
-type node_stat = { bag : string; botjoin_rows : int; topjoin_rows : int }
+type node_stat = {
+  bag : string;
+  botjoin_rows : int;
+  topjoin_rows : int;
+  botjoin_seconds : float;
+  topjoin_seconds : float;
+}
+
+let c_bot_rows = Obs.counter "tsens.botjoin_rows"
+let c_top_rows = Obs.counter "tsens.topjoin_rows"
+let c_table_rows = Obs.counter "tsens.table_rows_stored"
+let c_factored = Obs.counter "tsens.tables_factored"
+let c_dense = Obs.counter "tsens.tables_dense"
 
 type table_stat = {
   table_relation : string;
@@ -223,15 +235,20 @@ let run_component ?(skip = []) ghd db =
   in
   (* Bottom-up botjoins: ⊥(v) = γ_link(v) (B_v ⋈ {⊥(c)}). *)
   let botjoins = Hashtbl.create 16 in
+  let bot_seconds = Hashtbl.create 16 in
   List.iter
     (fun v ->
-      let children = Join_tree.children tree v in
+      let t0 = Obs.now_seconds () in
       let bot =
+        Obs.span "tsens.botjoin" @@ fun () ->
+        let children = Join_tree.children tree v in
         Join.join_project_all
           ~group:(Join_tree.link_schema tree v)
           (bag_rel v :: List.map (Hashtbl.find botjoins) children)
       in
-      Hashtbl.replace botjoins v bot)
+      Hashtbl.replace botjoins v bot;
+      Hashtbl.replace bot_seconds v (Obs.now_seconds () -. t0);
+      Obs.add c_bot_rows (Relation.distinct_count bot))
     (Join_tree.post_order tree);
   let out_size =
     Relation.cardinality (Hashtbl.find botjoins (Join_tree.root tree))
@@ -239,19 +256,24 @@ let run_component ?(skip = []) ghd db =
   (* Top-down topjoins: ⊤(root) = unit;
      ⊤(v) = γ_link(v) (B_p ⋈ ⊤(p) ⋈ {⊥(s) : s sibling of v}). *)
   let topjoins = Hashtbl.create 16 in
+  let top_seconds = Hashtbl.create 16 in
   List.iter
     (fun v ->
-      match Join_tree.parent tree v with
+      let t0 = Obs.now_seconds () in
+      (match Join_tree.parent tree v with
       | None -> Hashtbl.replace topjoins v unit_relation
       | Some p ->
-          let siblings = Join_tree.siblings tree v in
           let top =
+            Obs.span "tsens.topjoin" @@ fun () ->
+            let siblings = Join_tree.siblings tree v in
             Join.join_project_all
               ~group:(Join_tree.link_schema tree v)
               (bag_rel p :: Hashtbl.find topjoins p
               :: List.map (Hashtbl.find botjoins) siblings)
           in
-          Hashtbl.replace topjoins v top)
+          Hashtbl.replace topjoins v top);
+      Hashtbl.replace top_seconds v (Obs.now_seconds () -. t0);
+      Obs.add c_top_rows (Relation.distinct_count (Hashtbl.find topjoins v)))
     (Join_tree.pre_order tree);
   (* Multiplicity tables: T^R = γ_shared(R) (⊤(v) ⋈ {⊥(c)} ⋈ co-members),
      kept factored when the parts are a disjoint cover of shared(R). *)
@@ -261,6 +283,7 @@ let run_component ?(skip = []) ghd db =
       (Cq.relation_names cq)
   in
   let tables =
+    Obs.span "tsens.tables" @@ fun () ->
     List.map
       (fun relation ->
         let v = Ghd.bag_of ghd relation in
@@ -292,6 +315,18 @@ let run_component ?(skip = []) ghd db =
             Factored { schema = group; parts; factor = Count.one }
           else Dense (Join.join_project_all ~group parts)
         in
+        if Obs.enabled () then begin
+          match table with
+          | Factored { parts; _ } ->
+              Obs.tick c_factored;
+              Obs.add c_table_rows
+                (List.fold_left
+                   (fun acc p -> acc + Relation.distinct_count p)
+                   0 parts)
+          | Dense r ->
+              Obs.tick c_dense;
+              Obs.add c_table_rows (Relation.distinct_count r)
+        end;
         (relation, table))
       wanted
   in
@@ -302,6 +337,8 @@ let run_component ?(skip = []) ghd db =
           bag = v;
           botjoin_rows = Relation.distinct_count (Hashtbl.find botjoins v);
           topjoin_rows = Relation.distinct_count (Hashtbl.find topjoins v);
+          botjoin_seconds = Hashtbl.find bot_seconds v;
+          topjoin_seconds = Hashtbl.find top_seconds v;
         })
       (Join_tree.post_order tree)
   in
@@ -379,6 +416,7 @@ let analyze ?selection ?(skip = []) ?(plans = []) cq db =
         Errors.schema_errorf "skip: relation %s is not in query %s" r
           (Cq.name cq))
     skip;
+  Obs.span "tsens.analyze" @@ fun () ->
   let db = apply_selection selection cq db in
   let components = Cq.components cq in
   let runs =
@@ -511,9 +549,14 @@ let pp_statistics ppf a =
   let node_stats, table_stats = statistics a in
   Format.fprintf ppf "@[<v>";
   List.iter
-    (fun { bag; botjoin_rows; topjoin_rows } ->
-      Format.fprintf ppf "node %-12s botjoin %-8d topjoin %d@," bag
-        botjoin_rows topjoin_rows)
+    (fun { bag; botjoin_rows; topjoin_rows; botjoin_seconds; topjoin_seconds }
+       ->
+      Format.fprintf ppf
+        "node %-12s botjoin %-8d (%.3fms) topjoin %-8d (%.3fms)@," bag
+        botjoin_rows
+        (1e3 *. botjoin_seconds)
+        topjoin_rows
+        (1e3 *. topjoin_seconds))
     node_stats;
   List.iter
     (fun { table_relation; factored; table_rows } ->

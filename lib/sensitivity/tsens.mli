@@ -89,6 +89,8 @@ type node_stat = {
   bag : string;  (** decomposition bag (= atom name for acyclic plans) *)
   botjoin_rows : int;
   topjoin_rows : int;
+  botjoin_seconds : float;  (** wall-clock spent computing ⊥(v) *)
+  topjoin_seconds : float;  (** wall-clock spent computing ⊤(v) *)
 }
 
 type table_stat = {

@@ -35,8 +35,36 @@ let test_count_pow () =
       ignore (Count.pow 2 (-1)))
 
 let test_count_of_int () =
-  Alcotest.(check int) "clamps negatives" 0 (Count.of_int (-5));
+  Alcotest.check_raises "negatives raise"
+    (Invalid_argument "Count.of_int: negative multiplicity -5") (fun () ->
+      ignore (Count.of_int (-5)));
+  Alcotest.(check int) "keeps zero" 0 (Count.of_int 0);
   Alcotest.(check int) "keeps positives" 5 (Count.of_int 5)
+
+(* Exact behaviour one step either side of the saturation point: results
+   strictly below max_count stay exact, anything that reaches it sticks
+   there. *)
+let test_count_boundary () =
+  let m = Count.max_count in
+  Alcotest.(check int) "add below boundary exact" (m - 1)
+    (Count.add (m - 2) 1);
+  Alcotest.(check bool) "add reaching boundary saturates" true
+    (Count.is_saturated (Count.add (m - 1) 1));
+  Alcotest.(check bool) "saturated add absorbs" true
+    (Count.is_saturated (Count.add m m));
+  Alcotest.(check int) "mul below boundary exact" (m - 1)
+    (Count.mul ((m - 1) / 2) 2);
+  Alcotest.(check bool) "mul crossing boundary saturates" true
+    (Count.is_saturated (Count.mul ((m / 2) + 1) 2));
+  Alcotest.(check bool) "saturated mul absorbs" true
+    (Count.is_saturated (Count.mul m 2));
+  (* max_count = 2^62 - 1 on 64-bit: 2^61 is exact, 2^62 saturates. *)
+  Alcotest.(check int) "pow below boundary exact" (1 lsl 61)
+    (Count.pow 2 61);
+  Alcotest.(check bool) "pow crossing boundary saturates" true
+    (Count.is_saturated (Count.pow 2 62));
+  Alcotest.(check int) "pow of saturated zero exponent" Count.one
+    (Count.pow m 0)
 
 (* ------------------------------------------------------------------ *)
 (* Value *)
@@ -483,6 +511,114 @@ let test_csv_rejects_garbage () =
            "CSV row \"1,notanumber\" has invalid count \"notanumber\"")
         (fun () -> ignore (Csv.read_file path)))
 
+let with_temp_csv f =
+  let path = Filename.temp_file "tsens" ".csv" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let write_text path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+(* Input must preserve fields exactly as written in the file: only the
+   line terminator (optionally '\r\n') is stripped, never field
+   whitespace. The seed code trimmed the whole line, so " x" came back
+   as "x". *)
+let test_csv_input_preserves_edge_whitespace () =
+  with_temp_csv (fun path ->
+      write_text path "A,B,cnt\n x,y ,1\nu,\tv,2\n";
+      let r = Csv.read_file path in
+      Alcotest.check Tgen.relation_testable "fields kept verbatim"
+        (Relation.create
+           ~schema:(schema [ "A"; "B" ])
+           [
+             (tup [ s " x"; s "y " ], 1);
+             (tup [ s "u"; s "\tv" ], 2);
+           ])
+        r)
+
+let test_csv_input_strips_crlf () =
+  with_temp_csv (fun path ->
+      write_text path "A,cnt\r\n7,2\r\n";
+      Alcotest.check Tgen.relation_testable "windows line endings"
+        (Relation.create ~schema:(schema [ "A" ]) [ (tup [ v 7 ], 2) ])
+        (Csv.read_file path))
+
+(* Output refuses anything input could not hand back unchanged. *)
+let test_csv_output_rejects_edge_whitespace () =
+  with_temp_csv (fun path ->
+      let r =
+        Relation.create ~schema:(schema [ "A" ]) [ (tup [ s " x" ], 1) ]
+      in
+      Alcotest.(check bool) "whitespace field rejected" true
+        (match Csv.write_file path r with
+        | exception Errors.Data_error _ -> true
+        | () -> false))
+
+let test_csv_output_rejects_empty_header () =
+  with_temp_csv (fun path ->
+      let r = Relation.create ~schema:(schema [ "" ]) [ (tup [ v 1 ], 1) ] in
+      Alcotest.(check bool) "empty attribute name rejected" true
+        (match Csv.write_file path r with
+        | exception Errors.Data_error _ -> true
+        | () -> false))
+
+(* A saturated count is only a lower bound; the seed wrote it as
+   string_of_int max_int and a re-import silently believed it. *)
+let test_csv_output_rejects_saturated_count () =
+  with_temp_csv (fun path ->
+      let r =
+        Relation.create
+          ~schema:(schema [ "A" ])
+          [ (tup [ v 1 ], Count.max_count) ]
+      in
+      Alcotest.(check bool) "saturated count rejected" true
+        (match Csv.write_file path r with
+        | exception Errors.Data_error _ -> true
+        | () -> false))
+
+(* Zero counts are refused by both entrances: the reader's own check and
+   Relation.check_row behind Relation.create. *)
+let test_csv_zero_count_rejected () =
+  with_temp_csv (fun path ->
+      write_text path "A,cnt\n1,0\n";
+      Alcotest.check_raises "reader rejects zero"
+        (Errors.Data_error "CSV row \"1,0\" has invalid count \"0\"")
+        (fun () -> ignore (Csv.read_file path)));
+  Alcotest.(check bool) "check_row rejects zero" true
+    (match Relation.create ~schema:(schema [ "A" ]) [ (tup [ v 1 ], 0) ] with
+    | exception Errors.Data_error _ -> true
+    | _ -> false)
+
+(* The hardened round-trip property: for relations over tricky string
+   values, export either succeeds and reads back identical, or raises
+   Data_error — it never silently corrupts. *)
+let tricky_relation_gen =
+  QCheck2.Gen.(
+    let tricky_value =
+      oneof
+        [
+          map Value.int (int_range 0 4);
+          map Value.str
+            (oneofl [ " x"; "x"; "x "; "a b"; "\tq"; "r\t"; "" ]);
+        ]
+    in
+    list_size (int_range 1 8)
+      (pair (map Tuple.of_list (list_repeat 2 tricky_value)) (int_range 1 3))
+    >>= fun rows ->
+    return (Relation.create ~schema:(schema [ "A"; "B" ]) rows))
+
+let prop_csv_round_trip_or_rejects =
+  Tgen.qtest ~count:200 "csv round trips or rejects loudly"
+    tricky_relation_gen Tgen.print_relation (fun r ->
+      let path = Filename.temp_file "tsens" ".csv" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          match Csv.write_file path r with
+          | exception Errors.Data_error _ -> true
+          | () -> Relation.equal r (Csv.read_file path)))
+
 (* ------------------------------------------------------------------ *)
 (* Prng *)
 
@@ -530,6 +666,7 @@ let () =
           Alcotest.test_case "saturating mul" `Quick test_count_saturating_mul;
           Alcotest.test_case "pow" `Quick test_count_pow;
           Alcotest.test_case "of_int" `Quick test_count_of_int;
+          Alcotest.test_case "saturation boundary" `Quick test_count_boundary;
         ] );
       ( "value",
         [
@@ -597,6 +734,19 @@ let () =
           prop_csv_round_trip;
           Alcotest.test_case "schema checks" `Quick test_csv_schema_checks;
           Alcotest.test_case "rejects garbage" `Quick test_csv_rejects_garbage;
+          Alcotest.test_case "input preserves edge whitespace" `Quick
+            test_csv_input_preserves_edge_whitespace;
+          Alcotest.test_case "input strips CRLF" `Quick
+            test_csv_input_strips_crlf;
+          Alcotest.test_case "output rejects edge whitespace" `Quick
+            test_csv_output_rejects_edge_whitespace;
+          Alcotest.test_case "output rejects empty header" `Quick
+            test_csv_output_rejects_empty_header;
+          Alcotest.test_case "output rejects saturated count" `Quick
+            test_csv_output_rejects_saturated_count;
+          Alcotest.test_case "zero count rejected" `Quick
+            test_csv_zero_count_rejected;
+          prop_csv_round_trip_or_rejects;
         ] );
       ( "prng",
         [
