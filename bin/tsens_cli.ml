@@ -1,6 +1,7 @@
 (* tsens — command-line front end.
 
    Sub-commands:
+     check        static pre-execution diagnostics (queries, DP configs)
      classify     print a query's structural class, join tree and GHD
      sensitivity  local sensitivity of a query over CSV relations
      generate     write a synthetic TPC-H or ego-network instance as CSVs
@@ -17,6 +18,7 @@ open Tsens_query
 open Tsens_sensitivity
 open Tsens_dp
 open Tsens_workload
+open Tsens_analysis
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments and loading *)
@@ -134,6 +136,182 @@ let prepare ~sql query data =
     let cq, constraints = load_query query in
     (cq, constraints, load_database cq data)
   end
+
+(* ------------------------------------------------------------------ *)
+(* check *)
+
+(* One directory scan for both the catalog and the cardinality
+   statistics the analyzer's saturation bound needs. *)
+let catalog_and_stats_of_dir dir =
+  let rels =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".csv")
+    |> List.sort String.compare
+    |> List.map (fun f ->
+           (Filename.remove_extension f, Csv.read_file (Filename.concat dir f)))
+  in
+  ( List.map (fun (n, r) -> (n, Schema.attrs (Relation.schema r))) rels,
+    List.map (fun (n, r) -> (n, Relation.cardinality r)) rels )
+
+(* The DP checks only run when at least one DP option was given. *)
+let dp_of_options ~private_rel ~epsilon ~threshold_fraction ~ell =
+  match (private_rel, epsilon, threshold_fraction, ell) with
+  | None, None, None, None -> None
+  | _ ->
+      Some
+        {
+          Analyzer.epsilon = Option.value epsilon ~default:1.0;
+          threshold_fraction = Option.value threshold_fraction ~default:0.5;
+          ell = Option.value ell ~default:100;
+          private_relation = private_rel;
+        }
+
+let print_report ?source ~json report =
+  if json then print_endline (Diagnostic.report_to_json report)
+  else Format.printf "%a@." (Diagnostic.pp_report ?source) report
+
+(* The bundled evaluation queries with their Section 7.3 DP setups. *)
+let workload_reports which =
+  let wanted label =
+    match which with
+    | `All -> true
+    | `Tpch -> List.mem label [ "q1"; "q2"; "q3" ]
+    | `Facebook -> List.mem label [ "q4"; "qw"; "qo"; "qstar" ]
+  in
+  List.filter_map
+    (fun (label, (s : Queries.dp_setup)) ->
+      if not (wanted label) then None
+      else
+        let dp =
+          {
+            Analyzer.epsilon = 1.0;
+            threshold_fraction = 0.5;
+            ell = s.Queries.ell;
+            private_relation = Some s.Queries.private_relation;
+          }
+        in
+        Some (Analyzer.check_cq ~dp s.Queries.query))
+    Queries.dp_setups
+
+let run_check query sql data workload private_rel epsilon threshold_fraction
+    ell json =
+  try
+    let reports =
+      match workload with
+      | Some which ->
+          List.map (fun r -> (None, r)) (workload_reports which)
+      | None ->
+          let query =
+            match query with
+            | Some q -> q
+            | None -> invalid_arg "check needs either --query or --workload"
+          in
+          let catalog, stats =
+            match data with
+            | None -> (None, None)
+            | Some dir ->
+                let c, s = catalog_and_stats_of_dir dir in
+                (Some c, Some s)
+          in
+          let dp =
+            dp_of_options ~private_rel ~epsilon ~threshold_fraction ~ell
+          in
+          let source = query_text query in
+          let report =
+            if sql then
+              match catalog with
+              | Some catalog -> Analyzer.check_sql ~catalog ?stats ?dp source
+              | None ->
+                  raise (Sql.Sql_error "--sql check needs --data for the catalog")
+            else Analyzer.check_source ?catalog ?stats ?dp source
+          in
+          [ (Some source, report) ]
+    in
+    List.iter (fun (source, r) -> print_report ?source ~json r) reports;
+    if List.exists (fun (_, r) -> Diagnostic.has_errors r) reports then 1
+    else 0
+  with
+  | Errors.Schema_error m | Errors.Data_error m ->
+      Printf.eprintf "error: %s\n" m;
+      2
+  | Sql.Sql_error m ->
+      Printf.eprintf "parse error: %s\n" m;
+      2
+  | Invalid_argument m ->
+      Printf.eprintf "error: %s\n" m;
+      2
+
+let check_cmd =
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q"; "query" ] ~docv:"QUERY"
+          ~doc:
+            "The conjunctive query in datalog syntax, or a path to a file \
+             containing it.")
+  in
+  let data =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "d"; "data" ] ~docv:"DIR"
+          ~doc:
+            "CSV directory; enables catalog conformance checks and the \
+             counter-saturation bound.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt
+          (some (enum [ ("tpch", `Tpch); ("facebook", `Facebook); ("all", `All) ]))
+          None
+      & info [ "workload" ] ~docv:"WHICH"
+          ~doc:
+            "Check the bundled evaluation queries ($(b,tpch), $(b,facebook) \
+             or $(b,all)) with their DP setups instead of --query.")
+  in
+  let private_rel =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "private" ] ~docv:"RELATION"
+          ~doc:"The primary private relation (enables the DP checks).")
+  in
+  let epsilon =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "epsilon" ] ~doc:"Privacy budget to validate.")
+  in
+  let threshold_fraction =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold-fraction" ]
+          ~doc:"Share of epsilon spent learning the truncation threshold.")
+  in
+  let ell =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ell" ] ~doc:"Public upper bound on tuple sensitivity.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit each report as a JSON object (one per line).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically analyze a query, plan and DP configuration without \
+          executing anything. Exits 1 if any error-severity diagnostic is \
+          reported, 2 on I/O problems.")
+    Term.(
+      const run_check $ query $ sql_flag $ data $ workload $ private_rel
+      $ epsilon $ threshold_fraction $ ell $ json)
 
 (* ------------------------------------------------------------------ *)
 (* classify *)
@@ -374,4 +552,7 @@ let () =
         "Local sensitivities of counting queries with joins (SIGMOD 2020), \
          and truncation-based differentially private releases."
   in
-  exit (Cmd.eval' (Cmd.group info [ classify_cmd; sensitivity_cmd; generate_cmd; dp_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ check_cmd; classify_cmd; sensitivity_cmd; generate_cmd; dp_cmd ]))

@@ -1,0 +1,3 @@
+% The paper's running example (Figure 1): doubly acyclic, so TSens
+% (Algorithm 2) runs with binary botjoins/topjoins.
+Fig1(*) :- R1(A,B,C), R2(A,B,D), R3(A,E), R4(B,F).

@@ -1,0 +1,2 @@
+% A 3-hop path query — the easy case: Path_sens (Algorithm 1) applies.
+Q(*) :- R1(A,B), R2(B,C), R3(C,D).

@@ -1,0 +1,2 @@
+% A path query with satisfiable selection constraints on a join variable.
+Sel(*) :- R1(A,B), R2(B,C), B > 2, B < 100.

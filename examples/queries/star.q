@@ -1,0 +1,3 @@
+% The paper's q*: a triangle relation joined with its three edges —
+% acyclic, but not doubly acyclic (the join tree root has degree 3).
+Star(*) :- Rt(A,B,C), R1(A,B), R2(B,C), R3(C,A).

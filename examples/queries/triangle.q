@@ -1,0 +1,4 @@
+% The triangle counting query (the paper's q4). Deliberately cyclic:
+% `tsens check` reports TS010 (stuck GYO core + auto-GHD width) as a
+% warning — the CI lint gate only fails on error-severity diagnostics.
+Triangle(*) :- R1(A,B), R2(B,C), R3(C,A).

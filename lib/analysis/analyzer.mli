@@ -1,0 +1,90 @@
+(** Static query analyzer: pre-execution diagnostics for queries, plans
+    and DP configurations.
+
+    Runs over a parsed query (datalog or SQL surface), an optional
+    catalog/statistics snapshot of the database and an optional DP
+    configuration — {e without executing anything} — and emits structured
+    {!Diagnostic}s. The checks mirror the failure modes that the engines
+    otherwise surface as exceptions at execution time, plus structural
+    facts (the TSens complexity landscape is decided entirely by static
+    query shape) and cost warnings.
+
+    Diagnostic codes:
+
+    {v
+    code   sev      check
+    TS001  error    syntax error / SQL translation failure
+    TS002  error    unknown relation (atom not in the catalog)
+    TS003  error    schema mismatch between an atom and the catalog
+    TS004  error    duplicate variable within one atom
+    TS005  error    self-join (a relation appears in two atoms)
+    TS006  error    constraint on a variable not bound by any atom
+    TS007  error    head/body variable mismatch
+    TS008  warning  disconnected query (implicit cross product)
+    TS009  info     shape report: predicted algorithm + complexity
+    TS010  warning  cyclic query: stuck GYO remainder + auto-GHD width
+    TS011  warning  unsatisfiable selection constraints (empty query)
+    TS012  error    non-positive (or NaN) epsilon
+    TS013  error    threshold_fraction outside (0, 1)
+    TS014  error    ell < 1
+    TS015  error    private relation is not an atom of the query
+    TS016  warning  join count can saturate the 63-bit counter
+    v} *)
+
+open Tsens_relational
+open Tsens_query
+
+type catalog = (string * string list) list
+(** Relation name → column names ({!Sql.catalog_of_database} produces
+    one from a live database). *)
+
+type stats = (string * Count.t) list
+(** Relation name → bag cardinality, for the saturation bound (TS016). *)
+
+type dp_config = {
+  epsilon : float;
+  threshold_fraction : float;
+  ell : int;
+  private_relation : string option;
+}
+(** Mirror of {!Tsens_dp.Mechanism.config} without the dp-layer
+    dependency, so the mechanism can call down into this library. *)
+
+val stats_of_database : Database.t -> stats
+
+(** {1 Entry points} *)
+
+val check_source :
+  ?catalog:catalog ->
+  ?stats:stats ->
+  ?dp:dp_config ->
+  string ->
+  Diagnostic.report
+(** Full pipeline over datalog source text: parse ({!Parser.parse_raw}),
+    then every applicable check, with source spans on the diagnostics.
+    Never raises — syntax errors come back as TS001. *)
+
+val check_sql :
+  catalog:catalog ->
+  ?stats:stats ->
+  ?dp:dp_config ->
+  string ->
+  Diagnostic.report
+(** Same over the SQL surface. Duplicate/unknown tables are reported
+    with the FROM-item spans; remaining translation failures (unknown
+    columns, ambiguous references, …) surface as TS001. *)
+
+val check_cq :
+  ?catalog:catalog ->
+  ?stats:stats ->
+  ?dp:dp_config ->
+  ?constraints:Constraints.t list ->
+  Cq.t ->
+  Diagnostic.report
+(** Library entry for already-constructed queries (no spans): catalog
+    conformance, shape, satisfiability, saturation and DP checks. *)
+
+val check_dp_config : ?query:Cq.t -> ?span:Srcspan.t -> dp_config -> Diagnostic.t list
+(** Just the DP-configuration checks (TS012–TS015), in that order — the
+    pre-flight validation {!Tsens_dp.Mechanism} runs before spending
+    privacy budget. *)

@@ -1,0 +1,210 @@
+open Tsens_query
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  span : Srcspan.t option;
+}
+
+let make ?span ~code severity message = { code; severity; message; span }
+let error ?span ~code message = make ?span ~code Error message
+let warning ?span ~code message = make ?span ~code Warning message
+let info ?span ~code message = make ?span ~code Info message
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let equal a b =
+  String.equal a.code b.code
+  && a.severity = b.severity
+  && String.equal a.message b.message
+  && Option.equal Srcspan.equal a.span b.span
+
+type report = { subject : string option; items : t list }
+
+let compare_items a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+      match
+        Option.compare Srcspan.compare a.span b.span
+      with
+      | 0 -> String.compare a.code b.code
+      | c -> c)
+  | c -> c
+
+let report ?subject items =
+  { subject; items = List.stable_sort compare_items items }
+
+let errors r = List.filter (fun d -> d.severity = Error) r.items
+let warnings r = List.filter (fun d -> d.severity = Warning) r.items
+let has_errors r = errors r <> []
+let find_code code r = List.filter (fun d -> String.equal d.code code) r.items
+
+let equal_report a b =
+  Option.equal String.equal a.subject b.subject
+  && List.length a.items = List.length b.items
+  && List.for_all2 equal a.items b.items
+
+(* ------------------------------------------------------------------ *)
+(* Pretty rendering *)
+
+let pp ppf d =
+  match d.span with
+  | None ->
+      Format.fprintf ppf "%s[%s]: %s"
+        (severity_to_string d.severity)
+        d.code d.message
+  | Some span ->
+      Format.fprintf ppf "%s[%s] at %a: %s"
+        (severity_to_string d.severity)
+        d.code Srcspan.pp span d.message
+
+(* The line of [source] containing [ofs]: (start offset, contents). *)
+let line_at source ofs =
+  let n = String.length source in
+  let ofs = min (max 0 ofs) n in
+  let start = ref ofs in
+  while !start > 0 && source.[!start - 1] <> '\n' do
+    decr start
+  done;
+  let stop = ref ofs in
+  while !stop < n && source.[!stop] <> '\n' do
+    incr stop
+  done;
+  (!start, String.sub source !start (!stop - !start))
+
+let pp_excerpt ppf source (span : Srcspan.t) =
+  let bol, line = line_at source span.start_ofs in
+  let col = span.start_ofs - bol in
+  let width =
+    max 1 (min (Srcspan.length span) (String.length line - col))
+  in
+  Format.fprintf ppf "  %s@,  %s%s" line (String.make col ' ')
+    (String.make width '^')
+
+let pp_located source ppf d =
+  match d.span with
+  | None -> pp ppf d
+  | Some span ->
+      Format.fprintf ppf "%s[%s] at %a: %s@,%a"
+        (severity_to_string d.severity)
+        d.code (Srcspan.pp_in source) span d.message
+        (fun ppf () -> pp_excerpt ppf source span)
+        ()
+
+let plural n what =
+  Format.sprintf "%d %s%s" n what (if n = 1 then "" else "s")
+
+let pp_report ?source ppf r =
+  let pp_item =
+    match source with None -> pp | Some src -> pp_located src
+  in
+  Format.fprintf ppf "@[<v>";
+  (match r.subject with
+  | Some name when r.items <> [] ->
+      Format.fprintf ppf "query %s:@," name
+  | _ -> ());
+  List.iter (fun d -> Format.fprintf ppf "%a@," pp_item d) r.items;
+  let count sev = List.length (List.filter (fun d -> d.severity = sev) r.items) in
+  Format.fprintf ppf "%s, %s, %s@]"
+    (plural (count Error) "error")
+    (plural (count Warning) "warning")
+    (plural (count Info) "note")
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let to_json_value d =
+  let fields =
+    [
+      ("code", Json.Str d.code);
+      ("severity", Json.Str (severity_to_string d.severity));
+      ("message", Json.Str d.message);
+    ]
+  in
+  let fields =
+    match d.span with
+    | None -> fields
+    | Some span ->
+        fields
+        @ [
+            ( "span",
+              Json.Obj
+                [
+                  ("start", Json.Int span.Srcspan.start_ofs);
+                  ("stop", Json.Int span.Srcspan.stop_ofs);
+                ] );
+          ]
+  in
+  Json.Obj fields
+
+let report_to_json r =
+  let fields =
+    (match r.subject with
+    | None -> []
+    | Some name -> [ ("query", Json.Str name) ])
+    @ [ ("diagnostics", Json.List (List.map to_json_value r.items)) ]
+  in
+  Json.to_string (Json.Obj fields)
+
+let decode_item v =
+  let str field =
+    match Json.member field v with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "diagnostic lacks string field %S" field)
+  in
+  let ( let* ) = Result.bind in
+  let* code = str "code" in
+  let* sev_name = str "severity" in
+  let* severity =
+    match severity_of_string sev_name with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown severity %S" sev_name)
+  in
+  let* message = str "message" in
+  let* span =
+    match Json.member "span" v with
+    | None -> Ok None
+    | Some sp -> (
+        match (Json.member "start" sp, Json.member "stop" sp) with
+        | Some (Json.Int start), Some (Json.Int stop)
+          when start >= 0 && stop >= start ->
+            Ok (Some (Srcspan.make start stop))
+        | _ -> Error "malformed span")
+  in
+  Ok { code; severity; message; span }
+
+let report_of_json text =
+  let ( let* ) = Result.bind in
+  let* v = Json.of_string text in
+  let subject =
+    match Json.member "query" v with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let* items =
+    match Json.member "diagnostics" v with
+    | Some (Json.List ds) ->
+        List.fold_left
+          (fun acc d ->
+            let* acc = acc in
+            let* item = decode_item d in
+            Ok (item :: acc))
+          (Ok []) ds
+        |> Result.map List.rev
+    | _ -> Error "report lacks a diagnostics array"
+  in
+  (* Item order is preserved as parsed; emitted reports are already
+     sorted, so round-trips are exact. *)
+  Ok { subject; items }

@@ -1,0 +1,64 @@
+(** Structured pre-execution diagnostics.
+
+    A diagnostic is a stable code ([TS001]…), a severity, a
+    human-readable message and an optional source span into the query
+    text. Reports render two ways: {!pp_report} for terminals (with a
+    caret excerpt when the source is available) and {!report_to_json} /
+    {!report_of_json} for tooling — the JSON form round-trips exactly.
+
+    Severity policy:
+    - {e error}: the query/config cannot run — the engines would raise
+      ([tsens_cli check] exits non-zero; the CI lint gate fails).
+    - {e warning}: the query runs but something is probably not intended
+      or will be expensive/lossy (cross products, cyclic shapes,
+      unsatisfiable selections, counter saturation risk).
+    - {e info}: neutral facts worth surfacing (the shape report). *)
+
+open Tsens_query
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** stable, [TS]-prefixed — see {!Analyzer} for the table *)
+  severity : severity;
+  message : string;
+  span : Srcspan.t option;  (** into the query source text, when known *)
+}
+
+val make : ?span:Srcspan.t -> code:string -> severity -> string -> t
+val error : ?span:Srcspan.t -> code:string -> string -> t
+val warning : ?span:Srcspan.t -> code:string -> string -> t
+val info : ?span:Srcspan.t -> code:string -> string -> t
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+val equal : t -> t -> bool
+
+type report = {
+  subject : string option;  (** query name, when one was parsed *)
+  items : t list;
+}
+
+val report : ?subject:string -> t list -> report
+(** Sorts items by severity (errors first), then span, then code. *)
+
+val errors : report -> t list
+val warnings : report -> t list
+val has_errors : report -> bool
+
+val find_code : string -> report -> t list
+(** All diagnostics with the given code. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error[TS005] at 12-17: message] (offsets when spanned). *)
+
+val pp_report : ?source:string -> Format.formatter -> report -> unit
+(** All diagnostics plus a summary line. With [source], spans render as
+    [line:col] and each spanned diagnostic shows its source line with a
+    caret underline. *)
+
+val report_to_json : report -> string
+val report_of_json : string -> (report, string) result
+(** [report_of_json (report_to_json r)] succeeds and equals [r]. *)
+
+val equal_report : report -> report -> bool

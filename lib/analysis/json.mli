@@ -1,0 +1,29 @@
+(** A minimal JSON tree, printer and parser.
+
+    The analysis layer must emit diagnostics as JSON for tooling (the CI
+    lint gate, editors) and parse them back (the round-trip contract of
+    the report format) without adding a serializer dependency — the repo
+    rule is to hand-roll JSON (see [lib/obs]). This is a complete parser
+    for the JSON we emit: objects, arrays, strings with the standard
+    escapes, integers, floats, booleans and null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no whitespace), object fields in given order. *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON value; trailing non-whitespace is an error. Error
+    messages carry the byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing fields or non-objects. *)
+
+val equal : t -> t -> bool

@@ -10,11 +10,21 @@ type config = {
 let default_config ~ell ~private_relation =
   { epsilon = 1.0; threshold_fraction = 0.5; ell; private_relation }
 
-let validate config =
-  if config.epsilon <= 0.0 then invalid_arg "TsensDp: non-positive epsilon";
-  if config.threshold_fraction <= 0.0 || config.threshold_fraction >= 1.0 then
-    invalid_arg "TsensDp: threshold_fraction must be in (0, 1)";
-  if config.ell < 1 then invalid_arg "TsensDp: ell must be at least 1"
+(* Pre-flight: run the static analyzer's DP checks (TS012–TS015) before
+   spending any privacy budget. The analyzer reports every problem; we
+   fail on the first, keeping the historical error strings. *)
+let validate ?query config =
+  let dp =
+    {
+      Tsens_analysis.Analyzer.epsilon = config.epsilon;
+      threshold_fraction = config.threshold_fraction;
+      ell = config.ell;
+      private_relation = Some config.private_relation;
+    }
+  in
+  match Tsens_analysis.Analyzer.check_dp_config ?query dp with
+  | [] -> ()
+  | d :: _ -> invalid_arg ("TsensDp: " ^ d.Tsens_analysis.Diagnostic.message)
 
 let run_with_analysis rng config analysis =
   validate config;
@@ -61,6 +71,6 @@ let run_with_analysis rng config analysis =
   }
 
 let run rng config ?plans cq db =
-  validate config;
+  validate ~query:cq config;
   let analysis = Tsens.analyze ?plans cq db in
   run_with_analysis rng config analysis

@@ -27,9 +27,10 @@ val default_config : ell:int -> private_relation:string -> config
 
 val run :
   Prng.t -> config -> ?plans:Ghd.t list -> Cq.t -> Database.t -> Report.t
-(** Raises [Invalid_argument] on out-of-range configuration,
-    {!Errors.Schema_error} if the private relation is not in the
-    query. *)
+(** Raises [Invalid_argument] on out-of-range configuration or when the
+    private relation is not an atom of the query — both detected by the
+    static analyzer ({!Tsens_analysis.Analyzer.check_dp_config}) before
+    any privacy budget is spent. *)
 
 val run_with_analysis : Prng.t -> config -> Tsens.analysis -> Report.t
 (** Like {!run} on a precomputed analysis — lets repeated trials (the

@@ -13,11 +13,20 @@ type config = {
 let default_config ~ell ~private_relation ~cascade =
   { epsilon = 1.0; threshold_fraction = 0.5; ell; private_relation; cascade }
 
+(* Same pre-flight as {!Mechanism.validate}, with the Privsql prefix.
+   Private-relation membership stays a Schema_error (checked in [run]). *)
 let validate config =
-  if config.epsilon <= 0.0 then invalid_arg "Privsql: non-positive epsilon";
-  if config.threshold_fraction <= 0.0 || config.threshold_fraction >= 1.0 then
-    invalid_arg "Privsql: threshold_fraction must be in (0, 1)";
-  if config.ell < 1 then invalid_arg "Privsql: ell must be at least 1"
+  let dp =
+    {
+      Tsens_analysis.Analyzer.epsilon = config.epsilon;
+      threshold_fraction = config.threshold_fraction;
+      ell = config.ell;
+      private_relation = None;
+    }
+  in
+  match Tsens_analysis.Analyzer.check_dp_config dp with
+  | [] -> ()
+  | d :: _ -> invalid_arg ("Privsql: " ^ d.Tsens_analysis.Diagnostic.message)
 
 (* Privately learn a cap on the key-group frequency of one relation: the
    smallest i such that (noisily) no key has frequency above i. The count

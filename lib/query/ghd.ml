@@ -112,8 +112,15 @@ let auto cq =
       match !best with
       | None ->
           (* Disconnected cyclic residue cannot happen: a cyclic bag-level
-             query always has two bags sharing an attribute. *)
-          assert false
+             query always has two bags sharing an attribute. Name the
+             stuck state instead of aborting so a violated invariant is
+             diagnosable. *)
+          Errors.schema_errorf
+            "Ghd.auto: no attribute-sharing pair among cyclic bags %s of CQ \
+             %s"
+            (String.concat ", "
+               (List.map (fun (members, _) -> bag_name members) state))
+            (Cq.name cq)
       | Some (i, j, _) ->
           let mi, si = List.nth state i and mj, sj = List.nth state j in
           let merged = (mi @ mj, Schema.union si sj) in

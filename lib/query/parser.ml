@@ -2,6 +2,14 @@ open Tsens_relational
 
 exception Parse_error of string
 
+(* Internal error carrier: a message plus the span it points at. The
+   public surfaces re-raise it either as [Parse_error] (with the position
+   rendered into the message) or return it as data ([parse_raw]) so the
+   static analyzer can attach a source span to the diagnostic. *)
+exception Err of string * Srcspan.t option
+
+let err ?span fmt = Format.kasprintf (fun s -> raise (Err (s, span))) fmt
+
 type token =
   | Ident of string
   | IntLit of int
@@ -26,8 +34,19 @@ let tokenize input =
   let n = String.length input in
   let tokens = ref [] in
   let i = ref 0 in
-  let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt in
-  let push t = tokens := t :: !tokens in
+  let fail ?(stop = !i + 1) fmt =
+    err ~span:(Srcspan.make !i (min stop n)) fmt
+  in
+  (* [push1 t] is a single-character token at the cursor. *)
+  let push ~start ~stop t = tokens := (t, Srcspan.make start stop) :: !tokens in
+  let push1 t =
+    push ~start:!i ~stop:(!i + 1) t;
+    incr i
+  in
+  let push2 t =
+    push ~start:!i ~stop:(!i + 2) t;
+    i := !i + 2
+  in
   while !i < n do
     let c = input.[!i] in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
@@ -35,36 +54,24 @@ let tokenize input =
       while !i < n && input.[!i] <> '\n' do
         incr i
       done
-    else if c = '(' then begin push Lparen; incr i end
-    else if c = ')' then begin push Rparen; incr i end
-    else if c = ',' then begin push Comma; incr i end
-    else if c = '.' then begin push Dot; incr i end
-    else if c = '*' then begin push Star; incr i end
-    else if c = '=' then begin push (Cmp Constraints.Eq); incr i end
+    else if c = '(' then push1 Lparen
+    else if c = ')' then push1 Rparen
+    else if c = ',' then push1 Comma
+    else if c = '.' then push1 Dot
+    else if c = '*' then push1 Star
+    else if c = '=' then push1 (Cmp Constraints.Eq)
     else if c = '!' then
-      if !i + 1 < n && input.[!i + 1] = '=' then begin
-        push (Cmp Constraints.Neq);
-        i := !i + 2
-      end
-      else fail "expected '=' after '!' at offset %d" !i
+      if !i + 1 < n && input.[!i + 1] = '=' then push2 (Cmp Constraints.Neq)
+      else fail "expected '=' after '!'"
     else if c = '<' then
-      if !i + 1 < n && input.[!i + 1] = '=' then begin
-        push (Cmp Constraints.Le);
-        i := !i + 2
-      end
-      else begin push (Cmp Constraints.Lt); incr i end
+      if !i + 1 < n && input.[!i + 1] = '=' then push2 (Cmp Constraints.Le)
+      else push1 (Cmp Constraints.Lt)
     else if c = '>' then
-      if !i + 1 < n && input.[!i + 1] = '=' then begin
-        push (Cmp Constraints.Ge);
-        i := !i + 2
-      end
-      else begin push (Cmp Constraints.Gt); incr i end
+      if !i + 1 < n && input.[!i + 1] = '=' then push2 (Cmp Constraints.Ge)
+      else push1 (Cmp Constraints.Gt)
     else if c = ':' then
-      if !i + 1 < n && input.[!i + 1] = '-' then begin
-        push Turnstile;
-        i := !i + 2
-      end
-      else fail "expected '-' after ':' at offset %d" !i
+      if !i + 1 < n && input.[!i + 1] = '-' then push2 Turnstile
+      else fail "expected '-' after ':'"
     else if c = '\'' then begin
       (* quoted string literal, no escapes *)
       let start = !i + 1 in
@@ -72,8 +79,9 @@ let tokenize input =
       while !j < n && input.[!j] <> '\'' do
         incr j
       done;
-      if !j >= n then fail "unterminated string literal at offset %d" !i;
-      push (StrLit (String.sub input start (!j - start)));
+      if !j >= n then fail ~stop:n "unterminated string literal";
+      push ~start:(start - 1) ~stop:(!j + 1)
+        (StrLit (String.sub input start (!j - start)));
       i := !j + 1
     end
     else if is_digit c || (c = '-' && !i + 1 < n && is_digit input.[!i + 1])
@@ -83,20 +91,21 @@ let tokenize input =
       while !i < n && is_digit input.[!i] do
         incr i
       done;
-      push (IntLit (int_of_string (String.sub input start (!i - start))))
+      push ~start ~stop:!i
+        (IntLit (int_of_string (String.sub input start (!i - start))))
     end
     else if is_ident_char c then begin
       let start = !i in
       while !i < n && is_ident_char input.[!i] do
         incr i
       done;
-      push (Ident (String.sub input start (!i - start)))
+      push ~start ~stop:!i (Ident (String.sub input start (!i - start)))
     end
-    else fail "unexpected character %C at offset %d" c !i
+    else fail "unexpected character %C" c
   done;
   List.rev !tokens
 
-type state = { mutable rest : token list }
+type state = { mutable rest : (token * Srcspan.t) list; eof : Srcspan.t }
 
 let pp_token ppf = function
   | Ident s -> Format.fprintf ppf "identifier %s" s
@@ -110,122 +119,182 @@ let pp_token ppf = function
   | Star -> Format.pp_print_string ppf "'*'"
   | Cmp op -> Format.fprintf ppf "'%a'" Constraints.pp_op op
 
-let fail_token expected = function
-  | [] ->
-      raise
-        (Parse_error (Printf.sprintf "expected %s, got end of input" expected))
-  | t :: _ ->
-      raise
-        (Parse_error (Format.asprintf "expected %s, got %a" expected pp_token t))
+let fail_token st expected =
+  match st.rest with
+  | [] -> err ~span:st.eof "expected %s, got end of input" expected
+  | (t, span) :: _ -> err ~span "expected %s, got %a" expected pp_token t
 
 let eat st expected_desc pred =
   match st.rest with
-  | t :: rest when pred t ->
+  | (t, span) :: rest when pred t ->
       st.rest <- rest;
-      t
-  | toks -> fail_token expected_desc toks
+      (t, span)
+  | _ -> fail_token st expected_desc
 
+(* Direct pattern match — no catch-all [assert false] left to reach on
+   malformed input. *)
 let eat_ident st =
-  match eat st "identifier" (function Ident _ -> true | _ -> false) with
-  | Ident s -> s
-  | _ -> assert false
+  match st.rest with
+  | (Ident s, span) :: rest ->
+      st.rest <- rest;
+      (s, span)
+  | _ -> fail_token st "identifier"
 
 let parse_vars st =
   let rec loop acc =
     let v = eat_ident st in
     match st.rest with
-    | Comma :: rest ->
+    | (Comma, _) :: rest ->
         st.rest <- rest;
         loop (v :: acc)
     | _ -> List.rev (v :: acc)
   in
   loop []
 
+type raw_atom = {
+  atom_name : string;
+  atom_name_span : Srcspan.t;
+  atom_vars : (string * Srcspan.t) list;
+  atom_span : Srcspan.t;
+}
+
+type raw = {
+  raw_name : string;
+  raw_head : (string list * Srcspan.t) option;
+  raw_atoms : raw_atom list;
+  raw_constraints : (Constraints.t * Srcspan.t) list;
+  raw_span : Srcspan.t;
+}
+
 (* head ::= ident [ "(" ( "*" | vars ) ")" ] *)
 let parse_head st =
-  let name = eat_ident st in
+  let name, _ = eat_ident st in
   match st.rest with
-  | Lparen :: Star :: Rparen :: rest ->
+  | (Lparen, _) :: (Star, _) :: (Rparen, _) :: rest ->
       st.rest <- rest;
       (name, None)
-  | Lparen :: _ ->
-      st.rest <- List.tl st.rest;
+  | (Lparen, lp) :: rest ->
+      st.rest <- rest;
       let vars = parse_vars st in
-      let (_ : token) = eat st "')'" (function Rparen -> true | _ -> false) in
-      (name, Some vars)
+      let _, rp = eat st "')'" (function Rparen -> true | _ -> false) in
+      (name, Some (List.map fst vars, Srcspan.join lp rp))
   | _ -> (name, None)
 
 let parse_literal st =
   match st.rest with
-  | IntLit n :: rest ->
+  | (IntLit n, _) :: rest ->
       st.rest <- rest;
       Value.int n
-  | StrLit s :: rest ->
+  | (StrLit s, _) :: rest ->
       st.rest <- rest;
       Value.str s
-  | Ident "true" :: rest ->
+  | (Ident "true", _) :: rest ->
       st.rest <- rest;
       Value.bool true
-  | Ident "false" :: rest ->
+  | (Ident "false", _) :: rest ->
       st.rest <- rest;
       Value.bool false
-  | toks -> fail_token "literal (integer, 'string', true or false)" toks
+  | _ -> fail_token st "literal (integer, 'string', true or false)"
 
 (* item ::= ident "(" vars ")"  |  ident op literal *)
 let parse_item st =
-  let name = eat_ident st in
+  let name, name_span = eat_ident st in
   match st.rest with
-  | Lparen :: rest ->
+  | (Lparen, _) :: rest ->
       st.rest <- rest;
       let vars = parse_vars st in
-      let (_ : token) = eat st "')'" (function Rparen -> true | _ -> false) in
-      `Atom (name, vars)
-  | Cmp op :: rest ->
+      let _, rp = eat st "')'" (function Rparen -> true | _ -> false) in
+      `Atom
+        {
+          atom_name = name;
+          atom_name_span = name_span;
+          atom_vars = vars;
+          atom_span = Srcspan.join name_span rp;
+        }
+  | (Cmp op, _) :: rest ->
       st.rest <- rest;
       let value = parse_literal st in
-      `Constraint { Constraints.var = name; op; value }
-  | toks -> fail_token "'(' or a comparison operator" toks
+      (* The literal's span ends where the parser now stands. *)
+      let stop =
+        match st.rest with
+        | (_, next) :: _ -> next.Srcspan.start_ofs
+        | [] -> st.eof.Srcspan.start_ofs
+      in
+      `Constraint
+        ( { Constraints.var = name; op; value },
+          Srcspan.join name_span (Srcspan.make stop stop) )
+  | _ -> fail_token st "'(' or a comparison operator"
+
+let parse_raw input =
+  match
+    let st =
+      { rest = tokenize input; eof = Srcspan.point (String.length input) }
+    in
+    let name, head = parse_head st in
+    let (_ : token * Srcspan.t) =
+      eat st "':-'" (function Turnstile -> true | _ -> false)
+    in
+    let rec items acc =
+      let item = parse_item st in
+      match st.rest with
+      | (Comma, _) :: rest ->
+          st.rest <- rest;
+          items (item :: acc)
+      | _ -> List.rev (item :: acc)
+    in
+    let body = items [] in
+    (match st.rest with
+    | [] -> ()
+    | [ (Dot, _) ] -> ()
+    | _ -> fail_token st "'.' or end of input");
+    let raw_atoms =
+      List.filter_map (function `Atom a -> Some a | `Constraint _ -> None) body
+    in
+    let raw_constraints =
+      List.filter_map
+        (function `Constraint c -> Some c | `Atom _ -> None)
+        body
+    in
+    if raw_atoms = [] then
+      err ~span:(Srcspan.whole input) "query body has no atoms";
+    {
+      raw_name = name;
+      raw_head = head;
+      raw_atoms;
+      raw_constraints;
+      raw_span = Srcspan.whole input;
+    }
+  with
+  | raw -> Ok raw
+  | exception Err (msg, span) -> Error (msg, span)
+
+let cq_of_raw raw =
+  Cq.make ~name:raw.raw_name
+    (List.map (fun a -> (a.atom_name, List.map fst a.atom_vars)) raw.raw_atoms)
 
 let parse_full input =
-  let st = { rest = tokenize input } in
-  let name, head_vars = parse_head st in
-  let (_ : token) = eat st "':-'" (function Turnstile -> true | _ -> false) in
-  let rec items acc =
-    let item = parse_item st in
-    match st.rest with
-    | Comma :: rest ->
-        st.rest <- rest;
-        items (item :: acc)
-    | _ -> List.rev (item :: acc)
-  in
-  let body = items [] in
-  (match st.rest with
-  | [] -> ()
-  | [ Dot ] -> ()
-  | toks -> fail_token "'.' or end of input" toks);
-  let atoms =
-    List.filter_map (function `Atom a -> Some a | `Constraint _ -> None) body
-  in
-  let constraints =
-    List.filter_map
-      (function `Constraint c -> Some c | `Atom _ -> None)
-      body
-  in
-  if atoms = [] then raise (Parse_error "query body has no atoms");
-  let cq = Cq.make ~name atoms in
-  Constraints.check cq constraints;
-  (match head_vars with
-  | None -> ()
-  | Some vars ->
-      let body_vars = List.sort String.compare (Cq.vars cq) in
-      let head_sorted = List.sort String.compare vars in
-      if body_vars <> head_sorted then
-        Errors.schema_errorf
-          "head of %s must list exactly the body variables (%s), got (%s)"
-          name
-          (String.concat ", " body_vars)
-          (String.concat ", " head_sorted));
-  (cq, constraints)
+  match parse_raw input with
+  | Error (msg, None) -> raise (Parse_error msg)
+  | Error (msg, Some span) ->
+      raise
+        (Parse_error
+           (Format.asprintf "%s at %a" msg (Srcspan.pp_in input) span))
+  | Ok raw ->
+      let cq = cq_of_raw raw in
+      let constraints = List.map fst raw.raw_constraints in
+      Constraints.check cq constraints;
+      (match raw.raw_head with
+      | None -> ()
+      | Some (vars, _) ->
+          let body_vars = List.sort String.compare (Cq.vars cq) in
+          let head_sorted = List.sort String.compare vars in
+          if body_vars <> head_sorted then
+            Errors.schema_errorf
+              "head of %s must list exactly the body variables (%s), got (%s)"
+              raw.raw_name
+              (String.concat ", " body_vars)
+              (String.concat ", " head_sorted));
+      (cq, constraints)
 
 let parse input =
   match parse_full input with

@@ -17,10 +17,46 @@
     body variable (in any order); ["*"] or a bare name accepts them all.
     Constraints are the paper's Section 5.4 selections — tuples failing
     them get sensitivity 0; feed them to the engines via
-    {!Constraints.selection}. *)
+    {!Constraints.selection}.
+
+    Two surfaces: {!parse_full} / {!parse} validate eagerly and raise;
+    {!parse_raw} stops after the grammar and keeps source spans, so the
+    static analyzer can turn the same defects (self-joins, head/body
+    mismatches, unknown constraint variables) into positioned diagnostics
+    instead of exceptions. *)
 
 exception Parse_error of string
-(** Carries a message with the offending position. *)
+(** Carries a message with the offending position ([line:col]). *)
+
+(** {1 Raw surface syntax (spans preserved, nothing validated)} *)
+
+type raw_atom = {
+  atom_name : string;
+  atom_name_span : Srcspan.t;
+  atom_vars : (string * Srcspan.t) list;
+  atom_span : Srcspan.t;  (** name through closing parenthesis *)
+}
+
+type raw = {
+  raw_name : string;
+  raw_head : (string list * Srcspan.t) option;
+      (** explicit head variable list; [None] for [( * )] or a bare head *)
+  raw_atoms : raw_atom list;
+  raw_constraints : (Constraints.t * Srcspan.t) list;
+  raw_span : Srcspan.t;
+}
+
+val parse_raw : string -> (raw, string * Srcspan.t option) result
+(** Grammar only: succeeds on any syntactically well-formed query, even
+    one with self-joins, duplicate attributes or a mismatched head. The
+    error case carries the message and the offending span. *)
+
+val cq_of_raw : raw -> Cq.t
+(** Builds the conjunctive query, raising
+    {!Tsens_relational.Errors.Schema_error} exactly where {!Cq.make}
+    does (self-joins, duplicate attributes, empty body). *)
+
+(** {1 Validating surface} *)
 
 val parse_full : string -> Cq.t * Constraints.t list
 (** Raises {!Parse_error} on syntax errors,

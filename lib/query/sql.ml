@@ -4,6 +4,12 @@ exception Sql_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
 
+(* Positioned failure: the span is rendered into the [Sql_error] message
+   and also kept by [parse_from] for the static analyzer. *)
+exception Err of string * Srcspan.t option
+
+let err ?span fmt = Format.kasprintf (fun s -> raise (Err (s, span))) fmt
+
 let catalog_of_database db =
   Database.fold
     (fun name rel acc -> (name, Schema.attrs (Relation.schema rel)) :: acc)
@@ -31,7 +37,18 @@ let tokenize input =
   let n = String.length input in
   let tokens = ref [] in
   let i = ref 0 in
-  let push t = tokens := t :: !tokens in
+  let lex_fail ?(stop = !i + 1) fmt =
+    err ~span:(Srcspan.make !i (min stop n)) fmt
+  in
+  let push ~start ~stop t = tokens := (t, Srcspan.make start stop) :: !tokens in
+  let push1 t =
+    push ~start:!i ~stop:(!i + 1) t;
+    incr i
+  in
+  let push2 t =
+    push ~start:!i ~stop:(!i + 2) t;
+    i := !i + 2
+  in
   while !i < n do
     let c = input.[!i] in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
@@ -41,46 +58,27 @@ let tokenize input =
         incr i
       done
     else if c = '(' || c = ')' || c = ',' || c = '.' || c = ';' || c = '*'
-    then begin
-      push (Punct (String.make 1 c));
-      incr i
-    end
+    then push1 (Punct (String.make 1 c))
     else if c = '<' then
-      if !i + 1 < n && (input.[!i + 1] = '=' || input.[!i + 1] = '>') then begin
-        push (Punct (Printf.sprintf "<%c" input.[!i + 1]));
-        i := !i + 2
-      end
-      else begin
-        push (Punct "<");
-        incr i
-      end
+      if !i + 1 < n && (input.[!i + 1] = '=' || input.[!i + 1] = '>') then
+        push2 (Punct (Printf.sprintf "<%c" input.[!i + 1]))
+      else push1 (Punct "<")
     else if c = '>' then
-      if !i + 1 < n && input.[!i + 1] = '=' then begin
-        push (Punct ">=");
-        i := !i + 2
-      end
-      else begin
-        push (Punct ">");
-        incr i
-      end
-    else if c = '=' then begin
-      push (Punct "=");
-      incr i
-    end
+      if !i + 1 < n && input.[!i + 1] = '=' then push2 (Punct ">=")
+      else push1 (Punct ">")
+    else if c = '=' then push1 (Punct "=")
     else if c = '!' then
-      if !i + 1 < n && input.[!i + 1] = '=' then begin
-        push (Punct "!=");
-        i := !i + 2
-      end
-      else fail "unexpected '!' at offset %d" !i
+      if !i + 1 < n && input.[!i + 1] = '=' then push2 (Punct "!=")
+      else lex_fail "unexpected '!'"
     else if c = '\'' then begin
       let start = !i + 1 in
       let j = ref start in
       while !j < n && input.[!j] <> '\'' do
         incr j
       done;
-      if !j >= n then fail "unterminated string literal at offset %d" !i;
-      push (Str (String.sub input start (!j - start)));
+      if !j >= n then lex_fail ~stop:n "unterminated string literal";
+      push ~start:(start - 1) ~stop:(!j + 1)
+        (Str (String.sub input start (!j - start)));
       i := !j + 1
     end
     else if is_digit c || (c = '-' && !i + 1 < n && is_digit input.[!i + 1])
@@ -90,23 +88,24 @@ let tokenize input =
       while !i < n && is_digit input.[!i] do
         incr i
       done;
-      push (Int (int_of_string (String.sub input start (!i - start))))
+      push ~start ~stop:!i
+        (Int (int_of_string (String.sub input start (!i - start))))
     end
     else if is_word_char c then begin
       let start = !i in
       while !i < n && is_word_char input.[!i] do
         incr i
       done;
-      push (Word (String.sub input start (!i - start)))
+      push ~start ~stop:!i (Word (String.sub input start (!i - start)))
     end
-    else fail "unexpected character %C at offset %d" c !i
+    else lex_fail "unexpected character %C" c
   done;
   List.rev !tokens
 
 (* ------------------------------------------------------------------ *)
 (* Parser *)
 
-type state = { mutable rest : token list }
+type state = { mutable rest : (token * Srcspan.t) list; eof : Srcspan.t }
 
 let keyword w = String.uppercase_ascii w
 
@@ -116,17 +115,20 @@ let describe = function
   | Str s -> Printf.sprintf "string %S" s
   | Punct p -> Printf.sprintf "%S" p
 
+let parse_fail st what =
+  match st.rest with
+  | (t, span) :: _ -> err ~span "expected %s, got %s" what (describe t)
+  | [] -> err ~span:st.eof "expected %s, got end of input" what
+
 let expect st what pred =
   match st.rest with
-  | t :: rest when pred t ->
+  | (t, span) :: rest when pred t ->
       st.rest <- rest;
-      t
-  | t :: _ -> fail "expected %s, got %s" what (describe t)
-  | [] -> fail "expected %s, got end of input" what
+      (t, span)
+  | _ -> parse_fail st what
 
 let expect_keyword st kw =
-  ignore
-    (expect st kw (function Word w -> keyword w = kw | _ -> false))
+  ignore (expect st kw (function Word w -> keyword w = kw | _ -> false))
 
 let expect_punct st p =
   ignore (expect st (Printf.sprintf "%S" p) (function
@@ -136,10 +138,14 @@ let expect_punct st p =
 let is_reserved w =
   List.mem (keyword w) [ "SELECT"; "COUNT"; "FROM"; "WHERE"; "AS"; "AND" ]
 
+(* Direct pattern match — no catch-all [assert false] left to reach on
+   malformed input. *)
 let parse_word st what =
-  match expect st what (function Word _ -> true | _ -> false) with
-  | Word w -> w
-  | _ -> assert false
+  match st.rest with
+  | (Word w, span) :: rest ->
+      st.rest <- rest;
+      (w, span)
+  | _ -> parse_fail st what
 
 type colref = { alias : string option; column : string }
 
@@ -149,31 +155,30 @@ type cond =
 
 let parse_colref_from st first =
   match st.rest with
-  | Punct "." :: rest ->
+  | (Punct ".", _) :: rest ->
       st.rest <- rest;
-      let column = parse_word st "column name" in
+      let column, _ = parse_word st "column name" in
       { alias = Some first; column }
   | _ -> { alias = None; column = first }
 
 let parse_operand st =
   match st.rest with
-  | Word w :: rest when not (is_reserved w) ->
+  | (Word w, _) :: rest when not (is_reserved w) ->
       st.rest <- rest;
       if keyword w = "TRUE" then `Literal (Value.bool true)
       else if keyword w = "FALSE" then `Literal (Value.bool false)
       else `Col (parse_colref_from st w)
-  | Int n :: rest ->
+  | (Int n, _) :: rest ->
       st.rest <- rest;
       `Literal (Value.int n)
-  | Str s :: rest ->
+  | (Str s, _) :: rest ->
       st.rest <- rest;
       `Literal (Value.str s)
-  | t :: _ -> fail "expected a column or literal, got %s" (describe t)
-  | [] -> fail "expected a column or literal, got end of input"
+  | _ -> parse_fail st "a column or literal"
 
 let parse_op st =
   match st.rest with
-  | Punct p :: rest -> (
+  | (Punct p, span) :: rest -> (
       let op =
         match p with
         | "=" -> Some Constraints.Eq
@@ -188,19 +193,32 @@ let parse_op st =
       | Some op ->
           st.rest <- rest;
           op
-      | None -> fail "expected a comparison operator, got %S" p)
-  | t :: _ -> fail "expected a comparison operator, got %s" (describe t)
-  | [] -> fail "expected a comparison operator, got end of input"
+      | None -> err ~span "expected a comparison operator, got %S" p)
+  | _ -> parse_fail st "a comparison operator"
+
+let cond_span st start =
+  let stop =
+    match st.rest with
+    | (_, next) :: _ -> next.Srcspan.start_ofs
+    | [] -> st.eof.Srcspan.start_ofs
+  in
+  Srcspan.join start (Srcspan.make stop stop)
 
 let parse_cond st =
+  let start =
+    match st.rest with
+    | (_, span) :: _ -> span
+    | [] -> st.eof
+  in
   let left = parse_operand st in
   let op = parse_op st in
   let right = parse_operand st in
+  let span = cond_span st start in
   match (left, op, right) with
-  | `Col a, Constraints.Eq, `Col b -> Join (a, b)
+  | `Col a, Constraints.Eq, `Col b -> (Join (a, b), span)
   | `Col _, _, `Col _ ->
-      fail "only equality joins between columns are supported"
-  | `Col a, op, `Literal v -> Select (a, op, v)
+      err ~span "only equality joins between columns are supported"
+  | `Col a, op, `Literal v -> (Select (a, op, v), span)
   | `Literal v, op, `Col a ->
       (* flip the comparison *)
       let flipped =
@@ -212,23 +230,27 @@ let parse_cond st =
         | Constraints.Gt -> Constraints.Lt
         | Constraints.Ge -> Constraints.Le
       in
-      Select (a, flipped, v)
-  | `Literal _, _, `Literal _ -> fail "comparison between two literals"
+      (Select (a, flipped, v), span)
+  | `Literal _, _, `Literal _ -> err ~span "comparison between two literals"
+
+type from_item = { table : string; alias : string; item_span : Srcspan.t }
 
 let parse_from_item st =
-  let table = parse_word st "table name" in
+  let table, table_span = parse_word st "table name" in
   match st.rest with
-  | Word w :: rest when keyword w = "AS" ->
+  | (Word w, _) :: rest when keyword w = "AS" ->
       st.rest <- rest;
-      let alias = parse_word st "alias" in
-      (table, alias)
-  | Word w :: rest when not (is_reserved w) ->
+      let alias, alias_span = parse_word st "alias" in
+      { table; alias; item_span = Srcspan.join table_span alias_span }
+  | (Word w, alias_span) :: rest when not (is_reserved w) ->
       st.rest <- rest;
-      (table, w)
-  | _ -> (table, table)
+      { table; alias = w; item_span = Srcspan.join table_span alias_span }
+  | _ -> { table; alias = table; item_span = table_span }
 
 let parse_query input =
-  let st = { rest = tokenize input } in
+  let st =
+    { rest = tokenize input; eof = Srcspan.point (String.length input) }
+  in
   expect_keyword st "SELECT";
   expect_keyword st "COUNT";
   expect_punct st "(";
@@ -238,7 +260,7 @@ let parse_query input =
   let rec from_items acc =
     let item = parse_from_item st in
     match st.rest with
-    | Punct "," :: rest ->
+    | (Punct ",", _) :: rest ->
         st.rest <- rest;
         from_items (item :: acc)
     | _ -> List.rev (item :: acc)
@@ -246,12 +268,12 @@ let parse_query input =
   let from = from_items [] in
   let conds =
     match st.rest with
-    | Word w :: rest when keyword w = "WHERE" ->
+    | (Word w, _) :: rest when keyword w = "WHERE" ->
         st.rest <- rest;
         let rec loop acc =
           let c = parse_cond st in
           match st.rest with
-          | Word w :: rest when keyword w = "AND" ->
+          | (Word w, _) :: rest when keyword w = "AND" ->
               st.rest <- rest;
               loop (c :: acc)
           | _ -> List.rev (c :: acc)
@@ -260,9 +282,14 @@ let parse_query input =
     | _ -> []
   in
   (match st.rest with
-  | [] | [ Punct ";" ] -> ()
-  | t :: _ -> fail "unexpected %s after the query" (describe t));
+  | [] | [ (Punct ";", _) ] -> ()
+  | (t, span) :: _ -> err ~span "unexpected %s after the query" (describe t));
   (from, conds)
+
+let parse_from input =
+  match parse_query input with
+  | from, _ -> Ok from
+  | exception Err (msg, span) -> Error (msg, span)
 
 (* ------------------------------------------------------------------ *)
 (* Translation *)
@@ -282,12 +309,18 @@ type translation = {
 }
 
 let translate ~catalog input =
-  let from, conds = parse_query input in
+  let from, conds =
+    try parse_query input with
+    | Err (msg, None) -> fail "%s" msg
+    | Err (msg, Some span) ->
+        fail "%s at %s" msg (Format.asprintf "%a" (Srcspan.pp_in input) span)
+  in
+  let conds = List.map fst conds in
   (* Resolve tables and aliases. *)
   let seen_aliases = Hashtbl.create 8 and seen_tables = Hashtbl.create 8 in
   let aliases =
     List.map
-      (fun (table, alias) ->
+      (fun { table; alias; _ } ->
         (match List.assoc_opt table catalog with
         | Some _ -> ()
         | None -> fail "unknown table %s" table);
@@ -408,7 +441,12 @@ let translate ~catalog input =
             in
             if homogeneous && unique_owner then c
             else Printf.sprintf "%s_%s" a c
-        | [] -> assert false
+        | [] ->
+            (* Every class is seeded with at least the node it was created
+               for; an empty member list would be a union-find bookkeeping
+               bug, so name the root to make it debuggable. *)
+            fail "internal: empty column equivalence class rooted at %s.%s"
+              (fst root) (snd root)
       in
       Hashtbl.replace name_of_root root (fresh base))
     sorted_roots;

@@ -24,9 +24,24 @@
 open Tsens_relational
 
 exception Sql_error of string
+(** Messages carry the offending position ([line:col]) when the failure
+    maps to a source location. *)
 
 val catalog_of_database : Database.t -> (string * string list) list
 (** Relation name → column names, from a live database. *)
+
+type from_item = {
+  table : string;
+  alias : string;  (** the table name itself when no alias is given *)
+  item_span : Srcspan.t;
+}
+
+val parse_from : string -> (from_item list, string * Srcspan.t option) result
+(** Parses the query's grammar and returns the FROM items with their
+    source spans, without resolving anything against a catalog. The
+    static analyzer uses this to report duplicate/unknown tables with
+    positions before attempting the full {!translate}. The error case is
+    a syntax error with its span. *)
 
 type translation = {
   query : Cq.t;  (** atoms named after the tables, columns renamed to

@@ -1,0 +1,431 @@
+(* Tests for the static analyzer: every diagnostic code with a positive
+   and a clean case, source spans on the fixtures the checks point at,
+   and the JSON round-trip. *)
+
+open Tsens_relational
+open Tsens_query
+open Tsens_analysis
+
+let codes (r : Diagnostic.report) =
+  List.map (fun d -> d.Diagnostic.code) r.Diagnostic.items
+
+let has code r = Diagnostic.find_code code r <> []
+
+let only code r =
+  match Diagnostic.find_code code r with
+  | [ d ] -> d
+  | ds ->
+      Alcotest.failf "expected exactly one %s, got %d" code (List.length ds)
+
+let span_text source (d : Diagnostic.t) =
+  match d.Diagnostic.span with
+  | None -> Alcotest.failf "%s carries no span" d.Diagnostic.code
+  | Some span -> Srcspan.extract source span
+
+let no_errors name r =
+  Alcotest.(check (list string)) name [] (codes { r with Diagnostic.items = Diagnostic.errors r })
+
+let dp_ok =
+  {
+    Analyzer.epsilon = 1.0;
+    threshold_fraction = 0.5;
+    ell = 10;
+    private_relation = None;
+  }
+
+let triangle_cq =
+  Cq.make ~name:"triangle"
+    [ ("R1", [ "A"; "B" ]); ("R2", [ "B"; "C" ]); ("R3", [ "C"; "A" ]) ]
+
+let path2_cq =
+  Cq.make ~name:"path2" [ ("R1", [ "A"; "B" ]); ("R2", [ "B"; "C" ]) ]
+
+(* ------------------------------------------------------------------ *)
+(* TS001: syntax errors *)
+
+let test_ts001 () =
+  let src = "Q(*) :- R1(A B)." in
+  let r = Analyzer.check_source src in
+  let d = only "TS001" r in
+  Alcotest.(check bool) "is error" true (d.Diagnostic.severity = Diagnostic.Error);
+  Alcotest.(check bool) "has span" true (d.Diagnostic.span <> None);
+  (* SQL translation failures surface as TS001 too. *)
+  let r =
+    Analyzer.check_sql
+      ~catalog:[ ("R", [ "A"; "B" ]) ]
+      "SELECT COUNT(*) FROM R WHERE nope = 1"
+  in
+  Alcotest.(check bool) "sql unknown column" true (has "TS001" r);
+  no_errors "clean" (Analyzer.check_source "Q(*) :- R1(A,B).")
+
+(* ------------------------------------------------------------------ *)
+(* TS002/TS003: catalog conformance *)
+
+let catalog = [ ("R1", [ "A"; "B" ]); ("R2", [ "B"; "C" ]) ]
+
+let test_ts002 () =
+  let src = "Q(*) :- R1(A,B), Nope(B,C)." in
+  let r = Analyzer.check_source ~catalog src in
+  let d = only "TS002" r in
+  Alcotest.(check string) "span names the atom" "Nope" (span_text src d);
+  (* SQL surface: unknown table with the FROM-item span. *)
+  let sql = "SELECT COUNT(*) FROM R1, Nope" in
+  let d = only "TS002" (Analyzer.check_sql ~catalog sql) in
+  Alcotest.(check string) "sql span" "Nope" (span_text sql d);
+  no_errors "clean" (Analyzer.check_source ~catalog "Q(*) :- R1(A,B), R2(B,C).")
+
+let test_ts003 () =
+  let src = "Q(*) :- R1(A,B,Z), R2(B,C)." in
+  let r = Analyzer.check_source ~catalog src in
+  let d = only "TS003" r in
+  Alcotest.(check string) "span covers the atom" "R1(A,B,Z)" (span_text src d);
+  (* Attribute order does not matter (schemas are sets). *)
+  no_errors "order-insensitive"
+    (Analyzer.check_source ~catalog "Q(*) :- R1(B,A), R2(C,B).");
+  (* check_cq takes the same catalog. *)
+  Alcotest.(check bool) "cq surface" true
+    (has "TS003"
+       (Analyzer.check_cq ~catalog
+          (Cq.make [ ("R1", [ "A"; "X" ]); ("R2", [ "X"; "C" ]) ])))
+
+(* ------------------------------------------------------------------ *)
+(* TS004/TS005: structure the engines reject at construction time *)
+
+let test_ts004 () =
+  let src = "Q(*) :- R1(A,A), R2(A,B)." in
+  let r = Analyzer.check_source src in
+  let d = only "TS004" r in
+  Alcotest.(check string) "span" "R1(A,A)" (span_text src d);
+  Alcotest.(check bool) "message names the variable" true
+    (String.length d.Diagnostic.message > 0
+    && has "TS004" r
+    &&
+    let msg = d.Diagnostic.message in
+    String.length msg >= 1
+    && Option.is_some (String.index_opt msg 'A'));
+  no_errors "clean" (Analyzer.check_source "Q(*) :- R1(A,B), R2(A,B).")
+
+let test_ts005 () =
+  let src = "Q(*) :- R1(A,B), R1(B,C)." in
+  let d = only "TS005" (Analyzer.check_source src) in
+  Alcotest.(check string) "span is the second occurrence" "R1(B,C)"
+    (span_text src d);
+  let sql = "SELECT COUNT(*) FROM R1 AS a, R1 AS b" in
+  let d = only "TS005" (Analyzer.check_sql ~catalog sql) in
+  Alcotest.(check string) "sql span" "R1 AS b" (span_text sql d);
+  no_errors "clean" (Analyzer.check_source "Q(*) :- R1(A,B), R2(B,C).")
+
+(* ------------------------------------------------------------------ *)
+(* TS006/TS007: binding errors *)
+
+let test_ts006 () =
+  let src = "Q(*) :- R1(A,B), Z > 5." in
+  let d = only "TS006" (Analyzer.check_source src) in
+  Alcotest.(check string) "span" "Z > 5" (span_text src d);
+  no_errors "clean" (Analyzer.check_source "Q(*) :- R1(A,B), A > 5.");
+  (* check_cq with explicit constraints. *)
+  Alcotest.(check bool) "cq surface" true
+    (has "TS006"
+       (Analyzer.check_cq
+          ~constraints:
+            [ { Constraints.var = "Z"; op = Constraints.Gt; value = Value.int 5 } ]
+          path2_cq))
+
+let test_ts007 () =
+  let src = "Q(A) :- R1(A,B)." in
+  let d = only "TS007" (Analyzer.check_source src) in
+  Alcotest.(check bool) "names the missing variable" true
+    (Option.is_some (String.index_opt d.Diagnostic.message 'B'));
+  Alcotest.(check bool) "has span" true (d.Diagnostic.span <> None);
+  no_errors "clean" (Analyzer.check_source "Q(A,B) :- R1(A,B).");
+  no_errors "star head" (Analyzer.check_source "Q(*) :- R1(A,B).")
+
+(* ------------------------------------------------------------------ *)
+(* TS008–TS010: shape *)
+
+let test_ts008 () =
+  let src = "Q(*) :- R1(A,B), R2(X,Y)." in
+  let r = Analyzer.check_source src in
+  let d = only "TS008" r in
+  Alcotest.(check bool) "warning" true
+    (d.Diagnostic.severity = Diagnostic.Warning);
+  Alcotest.(check bool) "still no errors" false (Diagnostic.has_errors r);
+  Alcotest.(check bool) "connected is clean" false
+    (has "TS008" (Analyzer.check_source "Q(*) :- R1(A,B), R2(B,C)."))
+
+let test_ts009 () =
+  let msg src =
+    (only "TS009" (Analyzer.check_source src)).Diagnostic.message
+  in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "path report" true
+    (contains "path (R1 - R2)" (msg "Q(*) :- R1(A,B), R2(B,C)."));
+  Alcotest.(check bool) "doubly acyclic report" true
+    (contains "doubly acyclic"
+       (msg "Q(*) :- R1(A,B,C), R2(A,B,D), R3(A,E), R4(B,F)."));
+  Alcotest.(check bool) "acyclic report has degree" true
+    (contains "max tree degree d = 3"
+       (msg "Q(*) :- Rt(A,B,C), R1(A,B), R2(B,C), R3(C,A)."));
+  Alcotest.(check bool) "cyclic report has width" true
+    (contains "auto width 2" (msg "Q(*) :- R1(A,B), R2(B,C), R3(C,A)."))
+
+let test_ts010 () =
+  let src = "Q(*) :- R0(X,A), R1(A,B), R2(B,C), R3(C,A)." in
+  let d = only "TS010" (Analyzer.check_source src) in
+  (* The residual witness is the stuck triangle, not the ear R0. *)
+  Alcotest.(check string) "span covers the residual atoms"
+    "R1(A,B), R2(B,C), R3(C,A)" (span_text src d);
+  Alcotest.(check bool) "names the residual" true
+    (let msg = d.Diagnostic.message in
+     let has_sub needle =
+       let nl = String.length needle and hl = String.length msg in
+       let rec go i = i + nl <= hl && (String.sub msg i nl = needle || go (i + 1)) in
+       go 0
+     in
+     has_sub "{R1, R2, R3}" && not (has_sub "R0"));
+  Alcotest.(check bool) "acyclic is clean" false
+    (has "TS010" (Analyzer.check_source "Q(*) :- R1(A,B), R2(B,C)."))
+
+(* ------------------------------------------------------------------ *)
+(* TS011: unsatisfiable constraints *)
+
+let test_ts011 () =
+  let src = "Q(*) :- R1(A,B), A > 5, A < 3." in
+  let d = only "TS011" (Analyzer.check_source src) in
+  Alcotest.(check string) "span joins the contradicting constraints"
+    "A > 5, A < 3" (span_text src d);
+  no_errors "still runnable" (Analyzer.check_source src);
+  Alcotest.(check bool) "satisfiable is clean" false
+    (has "TS011" (Analyzer.check_source "Q(*) :- R1(A,B), A > 3, A < 5."));
+  Alcotest.(check bool) "eq contradiction" true
+    (has "TS011" (Analyzer.check_source "Q(*) :- R1(A,B), A = 1, A = 2."))
+
+(* ------------------------------------------------------------------ *)
+(* TS012–TS015: DP configuration *)
+
+let test_dp_codes () =
+  let check name config expected =
+    Alcotest.(check (list string))
+      name expected
+      (List.map
+         (fun d -> d.Diagnostic.code)
+         (Analyzer.check_dp_config config))
+  in
+  check "valid" dp_ok [];
+  check "bad epsilon" { dp_ok with Analyzer.epsilon = 0.0 } [ "TS012" ];
+  check "nan epsilon" { dp_ok with Analyzer.epsilon = Float.nan } [ "TS012" ];
+  check "bad fraction"
+    { dp_ok with Analyzer.threshold_fraction = 1.0 }
+    [ "TS013" ];
+  check "bad ell" { dp_ok with Analyzer.ell = 0 } [ "TS014" ];
+  check "everything wrong, stable order"
+    { Analyzer.epsilon = -1.0; threshold_fraction = 2.0; ell = 0;
+      private_relation = None }
+    [ "TS012"; "TS013"; "TS014" ];
+  (* The exact messages are the mechanism's historical error strings. *)
+  let messages config =
+    List.map
+      (fun d -> d.Diagnostic.message)
+      (Analyzer.check_dp_config config)
+  in
+  Alcotest.(check (list string))
+    "legacy messages"
+    [
+      "non-positive epsilon";
+      "threshold_fraction must be in (0, 1)";
+      "ell must be at least 1";
+    ]
+    (messages
+       { Analyzer.epsilon = 0.0; threshold_fraction = 0.0; ell = 0;
+         private_relation = None })
+
+let test_ts015 () =
+  let dp r = { dp_ok with Analyzer.private_relation = Some r } in
+  let ds = Analyzer.check_dp_config ~query:triangle_cq (dp "R9") in
+  Alcotest.(check (list string)) "absent relation" [ "TS015" ]
+    (List.map (fun d -> d.Diagnostic.code) ds);
+  Alcotest.(check (list string)) "member is clean" []
+    (List.map
+       (fun d -> d.Diagnostic.code)
+       (Analyzer.check_dp_config ~query:triangle_cq (dp "R2")));
+  (* No query in scope: membership cannot be checked, not an error. *)
+  Alcotest.(check (list string)) "no query" []
+    (List.map (fun d -> d.Diagnostic.code) (Analyzer.check_dp_config (dp "R9")))
+
+(* DP config checks run even when structural errors block Cq
+   construction (only TS015 needs the query). *)
+let test_dp_with_structural_errors () =
+  let r =
+    Analyzer.check_source
+      ~dp:{ dp_ok with Analyzer.epsilon = 0.0 }
+      "Q(*) :- R1(A,B), R1(B,C)."
+  in
+  Alcotest.(check bool) "TS005 present" true (has "TS005" r);
+  Alcotest.(check bool) "TS012 present" true (has "TS012" r)
+
+(* The bad-epsilon fixture carries the query's span end to end. *)
+let test_dp_span_through_source () =
+  let src = "Q(*) :- R1(A,B), R2(B,C)." in
+  let r =
+    Analyzer.check_source
+      ~dp:{ dp_ok with Analyzer.epsilon = -2.0; private_relation = Some "R9" }
+      src
+  in
+  let d12 = only "TS012" r and d15 = only "TS015" r in
+  Alcotest.(check string) "TS012 spans the query" src (span_text src d12);
+  Alcotest.(check string) "TS015 spans the query" src (span_text src d15)
+
+(* ------------------------------------------------------------------ *)
+(* TS016: saturation risk *)
+
+let test_ts016 () =
+  let big = 1 lsl 21 in
+  let stats = [ ("R1", big); ("R2", big); ("R3", big) ] in
+  let r = Analyzer.check_cq ~stats triangle_cq in
+  let d = only "TS016" r in
+  Alcotest.(check bool) "warning" true
+    (d.Diagnostic.severity = Diagnostic.Warning);
+  (* Small instances are clean. *)
+  Alcotest.(check bool) "small is clean" false
+    (has "TS016"
+       (Analyzer.check_cq ~stats:[ ("R1", 10); ("R2", 10); ("R3", 10) ]
+          triangle_cq));
+  (* Missing statistics for an atom: no bound, no warning. *)
+  Alcotest.(check bool) "partial stats skip" false
+    (has "TS016"
+       (Analyzer.check_cq ~stats:[ ("R1", big); ("R2", big) ] triangle_cq))
+
+let test_stats_of_database () =
+  let rel rows =
+    Relation.of_rows ~schema:(Schema.of_list [ "A" ])
+      (List.map (fun v -> [ Value.int v ]) rows)
+  in
+  let db = Database.of_list [ ("R1", rel [ 1; 2; 3 ]); ("R2", rel [ 7 ]) ] in
+  Alcotest.(check (list (pair string int)))
+    "cardinalities"
+    [ ("R1", 3); ("R2", 1) ]
+    (Analyzer.stats_of_database db)
+
+(* ------------------------------------------------------------------ *)
+(* Reports: ordering, rendering, JSON round-trip *)
+
+let test_report_ordering () =
+  let r =
+    Analyzer.check_source ~catalog
+      "Q(*) :- R1(A,B), Nope(B,C), X > 1, X < 0."
+  in
+  (* Errors first, then warnings, then the info shape report last. *)
+  let sevs = List.map (fun d -> d.Diagnostic.severity) r.Diagnostic.items in
+  let ranks =
+    List.map
+      (function Diagnostic.Error -> 0 | Warning -> 1 | Info -> 2)
+      sevs
+  in
+  Alcotest.(check (list int)) "sorted" (List.sort compare ranks) ranks
+
+let test_json_round_trip () =
+  let reports =
+    [
+      Analyzer.check_source "Q(*) :- R1(A B).";
+      Analyzer.check_source ~catalog "Q(*) :- R1(A,A), Nope(B,C), Z > 5.";
+      Analyzer.check_source ~dp:{ dp_ok with Analyzer.epsilon = 0.0 }
+        "Q(*) :- R1(A,B), R2(X,Y).";
+      Analyzer.check_cq ~stats:[ ("R1", 5); ("R2", 5); ("R3", 5) ] triangle_cq;
+      Diagnostic.report [];
+    ]
+  in
+  List.iteri
+    (fun i r ->
+      match Diagnostic.report_of_json (Diagnostic.report_to_json r) with
+      | Ok r' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "report %d round-trips" i)
+            true
+            (Diagnostic.equal_report r r')
+      | Error e -> Alcotest.failf "report %d: %s" i e)
+    reports
+
+let test_json_values () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd");
+        ("n", Json.Int (-42));
+        ("f", Json.Float 2.5);
+        ("l", Json.List [ Json.Null; Json.Bool true; Json.Obj [] ]);
+      ]
+  in
+  (match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "value round-trips" true (Json.equal v v')
+  | Error e -> Alcotest.fail e);
+  (match Json.of_string "{\"a\": 1} trailing" with
+  | Ok _ -> Alcotest.fail "trailing content accepted"
+  | Error _ -> ());
+  match Json.of_string "[1, 2" with
+  | Ok _ -> Alcotest.fail "unterminated list accepted"
+  | Error _ -> ()
+
+let test_pretty_rendering () =
+  let src = "Q(*) :- R1(A,B), R1(B,C)." in
+  let out =
+    Format.asprintf "%a" (Diagnostic.pp_report ~source:src)
+      (Analyzer.check_source src)
+  in
+  let contains needle =
+    let nl = String.length needle and hl = String.length out in
+    let rec go i = i + nl <= hl && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "code" true (contains "TS005");
+  Alcotest.(check bool) "line:col position" true (contains "at 1:18");
+  Alcotest.(check bool) "caret underline" true (contains "^^^^^^^");
+  Alcotest.(check bool) "summary" true (contains "1 error, 0 warnings, 0 notes")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "syntax",
+        [
+          Alcotest.test_case "TS001 syntax errors" `Quick test_ts001;
+          Alcotest.test_case "TS002 unknown relation" `Quick test_ts002;
+          Alcotest.test_case "TS003 schema mismatch" `Quick test_ts003;
+          Alcotest.test_case "TS004 duplicate variable" `Quick test_ts004;
+          Alcotest.test_case "TS005 self-join" `Quick test_ts005;
+          Alcotest.test_case "TS006 unbound constraint" `Quick test_ts006;
+          Alcotest.test_case "TS007 head mismatch" `Quick test_ts007;
+        ] );
+      ( "shape",
+        [
+          Alcotest.test_case "TS008 disconnected" `Quick test_ts008;
+          Alcotest.test_case "TS009 shape report" `Quick test_ts009;
+          Alcotest.test_case "TS010 cyclic witness" `Quick test_ts010;
+          Alcotest.test_case "TS011 unsatisfiable" `Quick test_ts011;
+        ] );
+      ( "dp",
+        [
+          Alcotest.test_case "TS012-TS014 config" `Quick test_dp_codes;
+          Alcotest.test_case "TS015 private relation" `Quick test_ts015;
+          Alcotest.test_case "dp with structural errors" `Quick
+            test_dp_with_structural_errors;
+          Alcotest.test_case "span through source" `Quick
+            test_dp_span_through_source;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "TS016 saturation" `Quick test_ts016;
+          Alcotest.test_case "stats_of_database" `Quick test_stats_of_database;
+        ] );
+      ( "reports",
+        [
+          Alcotest.test_case "ordering" `Quick test_report_ordering;
+          Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "json values" `Quick test_json_values;
+          Alcotest.test_case "pretty rendering" `Quick test_pretty_rendering;
+        ] );
+    ]

@@ -324,6 +324,50 @@ let test_classify_shapes () =
   (* Disconnected: classified by the most general component. *)
   check "disconnected" "path (R1 - R2)" disconnected_cq
 
+let test_classify_edge_cases () =
+  let shape cq = Format.asprintf "%a" Classify.pp_shape (Classify.classify cq) in
+  (* A single atom is the degenerate one-relation path. *)
+  Alcotest.(check string) "single atom" "path (R)"
+    (shape (Cq.make [ ("R", [ "A"; "B" ]) ]));
+  (* Lonely attributes (bound by one atom only) do not break path shape:
+     q1's Lineitem carries SK and PK the same way. *)
+  Alcotest.(check string) "path with lonely attributes" "path (R1 - R2)"
+    (shape (Cq.make [ ("R1", [ "A"; "B"; "X"; "Y" ]); ("R2", [ "B"; "C" ]) ]));
+  (* Disconnected query with a cyclic component: the most general
+     component decides the class. *)
+  Alcotest.(check string) "disconnected cyclic component" "cyclic"
+    (shape
+       (Cq.make
+          [
+            ("S", [ "U"; "V" ]);
+            ("R1", [ "A"; "B" ]);
+            ("R2", [ "B"; "C" ]);
+            ("R3", [ "C"; "A" ]);
+          ]));
+  (* The GYO failure witness: ears are stripped, the stuck core remains. *)
+  let lollipop =
+    Cq.make
+      [
+        ("Ear", [ "X"; "A" ]);
+        ("R1", [ "A"; "B" ]);
+        ("R2", [ "B"; "C" ]);
+        ("R3", [ "C"; "A" ]);
+      ]
+  in
+  (match Gyo.decompose lollipop with
+  | Gyo.Cyclic residual ->
+      Alcotest.(check (list string))
+        "residual excludes the ear" [ "R1"; "R2"; "R3" ]
+        (List.sort String.compare residual)
+  | Gyo.Acyclic _ -> Alcotest.fail "lollipop should be cyclic");
+  match Gyo.decompose square_cq with
+  | Gyo.Cyclic residual ->
+      Alcotest.(check (list string))
+        "square residual is all four atoms"
+        [ "R1"; "R2"; "R3"; "R4" ]
+        (List.sort String.compare residual)
+  | Gyo.Acyclic _ -> Alcotest.fail "square should be cyclic"
+
 let test_classify_doubly_acyclic () =
   Alcotest.(check bool) "fig1 paper tree doubly acyclic" true
     (Classify.is_doubly_acyclic
@@ -510,6 +554,7 @@ let () =
         [
           Alcotest.test_case "path order" `Quick test_classify_path;
           Alcotest.test_case "shapes" `Quick test_classify_shapes;
+          Alcotest.test_case "edge cases" `Quick test_classify_edge_cases;
           Alcotest.test_case "doubly acyclic" `Quick
             test_classify_doubly_acyclic;
         ] );
