@@ -1,0 +1,114 @@
+(* Jobs-sweep micro benchmark for the parallel execution layer.
+
+   Runs the two hottest pipelines — join_project_all over the q1 TPC-H
+   relations and a full TSens analysis — at jobs ∈ {1, 2, 4}, checks
+   each job count returns results bit-identical to jobs=1, and writes
+   BENCH_parallel.json with the wall-clock numbers. The JSON records
+   host_cores because speedup is bounded by the physical core count:
+   on a single-core host every job count measures the same work plus
+   pool overhead. *)
+
+open Tsens_relational
+open Tsens_query
+open Tsens_sensitivity
+open Tsens_workload
+
+let job_counts = [ 1; 2; 4 ]
+
+(* Best-of-N wall clock: parallel benches are noisy and we want the
+   steady-state cost, not scheduler warm-up. *)
+let best_seconds ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let _, s = Bench_util.time f in
+    if s < !best then best := s
+  done;
+  !best
+
+type sweep = {
+  bench_name : string;
+  times : (int * float) list; (* jobs, best seconds *)
+  identical : bool; (* every job count matched jobs=1 *)
+}
+
+let sweep ~repeats ~equal name f =
+  let reference = Exec.with_jobs 1 f in
+  let times =
+    List.map
+      (fun j -> (j, Exec.with_jobs j (fun () -> best_seconds ~repeats f)))
+      job_counts
+  in
+  let identical =
+    List.for_all (fun j -> equal reference (Exec.with_jobs j f)) job_counts
+  in
+  { bench_name = name; times; identical }
+
+let equal_result (a : Sens_types.result) (b : Sens_types.result) =
+  Count.equal a.local_sensitivity b.local_sensitivity
+  && List.equal
+       (fun (r1, c1) (r2, c2) -> String.equal r1 r2 && Count.equal c1 c2)
+       a.per_relation b.per_relation
+
+let json_of_sweep { bench_name; times; identical } =
+  let t1 = List.assoc 1 times in
+  let entries =
+    List.map
+      (fun (j, s) ->
+        Printf.sprintf
+          "{\"jobs\":%d,\"seconds\":%.9f,\"speedup_vs_jobs1\":%.3f}" j s
+          (if s > 0.0 then t1 /. s else 1.0))
+      times
+  in
+  Printf.sprintf
+    "{\"name\":%S,\"identical_to_jobs1\":%b,\"runs\":[%s]}" bench_name
+    identical
+    (String.concat "," entries)
+
+let run ~seed ~scale ~repeats ~out =
+  Bench_util.print_heading "parallel: jobs sweep";
+  let db = Tpch.generate ~seed ~scale () in
+  let q1_instance =
+    List.map (fun (_, r) -> r) (Cq.instance Queries.q1 db)
+  in
+  let group =
+    Schema.inter
+      (Cq.schema_of Queries.q1 "Customer")
+      (Cq.schema_of Queries.q1 "Orders")
+  in
+  let sweeps =
+    [
+      sweep ~repeats ~equal:Relation.equal "join_project_all/q1"
+        (fun () -> Join.join_project_all ~group q1_instance);
+      sweep ~repeats ~equal:equal_result "tsens/q1"
+        (fun () ->
+          Tsens.local_sensitivity ~plans:Queries.tpch_plans Queries.q1 db);
+    ]
+  in
+  Bench_util.print_table
+    ~columns:[ "bench"; "jobs"; "seconds"; "speedup"; "identical" ]
+    (List.concat_map
+       (fun s ->
+         let t1 = List.assoc 1 s.times in
+         List.map
+           (fun (j, sec) ->
+             [
+               s.bench_name;
+               string_of_int j;
+               Bench_util.seconds_to_string sec;
+               Printf.sprintf "%.2fx" (if sec > 0.0 then t1 /. sec else 1.0);
+               string_of_bool s.identical;
+             ])
+           s.times)
+       sweeps);
+  let json =
+    Printf.sprintf "{\"host_cores\":%d,\"scale\":%f,\"benchmarks\":[%s]}"
+      (Domain.recommended_domain_count ())
+      scale
+      (String.concat "," (List.map json_of_sweep sweeps))
+  in
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc json;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n%!" out;
+  if not (List.for_all (fun s -> s.identical) sweeps) then
+    failwith "parallel bench: results differ across job counts"

@@ -1,23 +1,52 @@
-(* Keyed once at build; lookups share the precomputed key positions. *)
+(* Keyed once at build; lookups share the precomputed key positions.
+
+   Groups are frozen as arrays at the end of [build], so join probe
+   loops iterate contiguous memory instead of chasing cons cells.
+
+   Above the parallel cutoff the index is hash-partitioned: part [p]
+   holds exactly the keys whose [Tuple.bucket] is [p], each part built
+   on its own domain with no shared writes, and probes route by the same
+   bucket function. Within a part, rows are scanned in relation order,
+   so the per-key row order is identical to the single-part build. *)
 
 let c_builds = Obs.counter "index.builds"
 let c_probes = Obs.counter "index.probes"
 let c_rows = Obs.counter "index.rows_indexed"
 let g_group = Obs.gauge "index.max_group_rows"
 
-module H = Hashtbl.Make (struct
-  type t = Tuple.t
+module H = Tuple.Tbl
 
-  let equal = Tuple.equal
-  let hash = Tuple.hash
-end)
+type part = {
+  groups : (Tuple.t * Count.t) array H.t;
+  counts : Count.t H.t;
+}
 
 type t = {
   key : Schema.t;
   source : Schema.t;
-  groups : (Tuple.t * Count.t) list H.t;
-  counts : Count.t H.t;
+  parts : part array; (* a key lives in parts.(Tuple.bucket key n) *)
 }
+
+(* Build one part from the rows whose precomputed bucket matches; [keys]
+   holds the per-row key projections. The temporary cons lists reverse
+   row order, as the frozen arrays' contract requires (newest first,
+   matching the historical list-based index). *)
+let build_part rows keys select size =
+  let acc : (Tuple.t * Count.t) list H.t = H.create size in
+  let counts = H.create size in
+  Array.iteri
+    (fun i row ->
+      if select i then begin
+        let k = keys.(i) in
+        let prev = try H.find acc k with Not_found -> [] in
+        H.replace acc k (row :: prev);
+        let prev_c = try H.find counts k with Not_found -> 0 in
+        H.replace counts k (Count.add prev_c (snd row))
+      end)
+    rows;
+  let groups = H.create (H.length acc) in
+  H.iter (fun k l -> H.replace groups k (Array.of_list l)) acc;
+  { groups; counts }
 
 let build ~key rel =
   Obs.span "index.build" @@ fun () ->
@@ -26,34 +55,56 @@ let build ~key rel =
     Errors.schema_errorf "index key %a not a subset of %a" Schema.pp key
       Schema.pp source;
   let positions = Schema.positions ~sub:key source in
-  let groups = H.create (max 16 (Relation.distinct_count rel)) in
-  let counts = H.create (max 16 (Relation.distinct_count rel)) in
-  Relation.iter
-    (fun tup cnt ->
-      let k = Tuple.project positions tup in
-      let prev = try H.find groups k with Not_found -> [] in
-      H.replace groups k ((tup, cnt) :: prev);
-      let prev_c = try H.find counts k with Not_found -> 0 in
-      H.replace counts k (Count.add prev_c cnt))
-    rel;
+  let rows = Relation.rows rel in
+  let n = Array.length rows in
+  let parts =
+    if not (Exec.pays_off n) then begin
+      let keys = Array.map (fun (tup, _) -> Tuple.project positions tup) rows in
+      [| build_part rows keys (fun _ -> true) (max 16 n) |]
+    end
+    else begin
+      let p = Exec.jobs () in
+      let keys =
+        Exec.parallel_map (fun (tup, _) -> Tuple.project positions tup) rows
+      in
+      let buckets = Exec.parallel_map (fun k -> Tuple.bucket k p) keys in
+      let parts = Array.make p { groups = H.create 0; counts = H.create 0 } in
+      Exec.parallel_for ~chunks:p 0 p (fun pi ->
+          parts.(pi) <-
+            build_part rows keys (fun i -> buckets.(i) = pi) (max 16 (n / p)));
+      parts
+    end
+  in
   if Obs.enabled () then begin
     Obs.tick c_builds;
     Obs.add c_rows (Relation.distinct_count rel);
-    H.iter (fun _ rows -> Obs.observe g_group (List.length rows)) groups
+    Array.iter
+      (fun part ->
+        H.iter (fun _ rows -> Obs.observe g_group (Array.length rows))
+          part.groups)
+      parts
   end;
-  { key; source; groups; counts }
+  { key; source; parts }
 
 let key_schema t = t.key
 let source_schema t = t.source
+
+let part_of t k =
+  if Array.length t.parts = 1 then t.parts.(0)
+  else t.parts.(Tuple.bucket k (Array.length t.parts))
+
 let lookup t k =
   Obs.tick c_probes;
-  try H.find t.groups k with Not_found -> []
+  try H.find (part_of t k).groups k with Not_found -> [||]
 
 let group_count t k =
   Obs.tick c_probes;
-  try H.find t.counts k with Not_found -> 0
+  try H.find (part_of t k).counts k with Not_found -> 0
 
 let max_group_count t =
-  H.fold (fun _ c acc -> Count.max c acc) t.counts Count.zero
+  Array.fold_left
+    (fun acc part -> H.fold (fun _ c acc -> Count.max c acc) part.counts acc)
+    Count.zero t.parts
 
-let iter_groups f t = H.iter f t.groups
+let iter_groups f t =
+  Array.iter (fun part -> H.iter f part.groups) t.parts

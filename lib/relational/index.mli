@@ -13,9 +13,10 @@ val build : key:Schema.t -> Relation.t -> t
 val key_schema : t -> Schema.t
 val source_schema : t -> Schema.t
 
-val lookup : t -> Tuple.t -> (Tuple.t * Count.t) list
+val lookup : t -> Tuple.t -> (Tuple.t * Count.t) array
 (** Rows (full tuples of the source relation) whose key projection equals
-    the given key tuple; [[]] if none. *)
+    the given key tuple; [[||]] if none. The array is owned by the index:
+    callers must not mutate it. *)
 
 val group_count : t -> Tuple.t -> Count.t
 (** Summed multiplicity of the group, 0 if the key is absent. *)
@@ -23,4 +24,4 @@ val group_count : t -> Tuple.t -> Count.t
 val max_group_count : t -> Count.t
 (** Largest group multiplicity — [mf] over the key schema. 0 if empty. *)
 
-val iter_groups : (Tuple.t -> (Tuple.t * Count.t) list -> unit) -> t -> unit
+val iter_groups : (Tuple.t -> (Tuple.t * Count.t) array -> unit) -> t -> unit

@@ -1,7 +1,16 @@
 (* All operators hash-partition the right side on the common attributes
    and stream the left side through it. The combined tuple layout is
    always: left tuple ++ (right tuple minus common attributes), matching
-   [Schema.union left right]. *)
+   [Schema.union left right].
+
+   Above the parallel cutoff the binary operators switch to a
+   partition-parallel plan: both sides are hash-partitioned on the
+   join-key hash into one bucket per pool domain, bucket k of the left
+   joins bucket k of the right on its own domain (equal keys always meet
+   — they share a hash), and the per-partition results merge in bucket
+   order at the barrier. Saturating count addition is associative and
+   commutative and [Relation.create] canonicalizes, so outputs are
+   bit-identical to the sequential plan at any job count. *)
 
 let c_rows = Obs.counter "join.rows_emitted"
 let c_sat = Obs.counter "count.saturations"
@@ -50,24 +59,88 @@ let stream_join a b emit =
   Relation.iter
     (fun ltup lcnt ->
       let key = Tuple.project plan.common_left ltup in
-      List.iter
+      Array.iter
         (fun (rtup, rcnt) ->
           emit (combine plan ltup rtup) (Count.mul lcnt rcnt))
         (Index.lookup idx key))
     a;
   plan.combined
 
+module H = Tuple.Tbl
+
+(* ------------------------------------------------------------------ *)
+(* The partition-parallel core. [emit_partition] receives one partition
+   id plus the per-partition probe driver and returns that partition's
+   result; results are combined in partition order by the caller. The
+   driver builds a local hash table of the right bucket and streams the
+   left bucket through it — the same plan as [stream_join], confined to
+   one bucket. *)
+
+let partitioned plan a b emit_partition =
+  let parts = Exec.jobs () in
+  let project_keys positions rel =
+    let rows = Relation.rows rel in
+    let keys =
+      Exec.parallel_map (fun (tup, _) -> Tuple.project positions tup) rows
+    in
+    let buckets = Exec.parallel_map (fun k -> Tuple.bucket k parts) keys in
+    (rows, keys, buckets)
+  in
+  let right_positions =
+    Schema.positions ~sub:plan.common_right (Relation.schema b)
+  in
+  let left = project_keys plan.common_left a in
+  let right = project_keys right_positions b in
+  let results = Array.make parts None in
+  Exec.parallel_for ~chunks:parts 0 parts (fun p ->
+      let drive emit =
+        let rrows, rkeys, rbuckets = right in
+        let index : (Tuple.t * Count.t) list H.t = H.create 64 in
+        Array.iteri
+          (fun j row ->
+            if rbuckets.(j) = p then begin
+              let prev = try H.find index rkeys.(j) with Not_found -> [] in
+              H.replace index rkeys.(j) (row :: prev)
+            end)
+          rrows;
+        let lrows, lkeys, lbuckets = left in
+        Array.iteri
+          (fun i (ltup, lcnt) ->
+            if lbuckets.(i) = p then
+              match H.find_opt index lkeys.(i) with
+              | None -> ()
+              | Some group ->
+                  List.iter
+                    (fun (rtup, rcnt) ->
+                      emit (combine plan ltup rtup) (Count.mul lcnt rcnt))
+                    group
+          )
+          lrows
+      in
+      results.(p) <- Some (emit_partition p drive));
+  Array.to_list results |> List.filter_map Fun.id
+
+(* Total distinct rows on both sides: the size the parallel cutoff is
+   judged against. *)
+let pair_size a b = Relation.distinct_count a + Relation.distinct_count b
+
 let natural_join a b =
-  let acc = ref [] in
-  let combined = stream_join a b (fun tup cnt -> acc := (tup, cnt) :: !acc) in
-  Relation.create ~schema:combined (List.rev !acc)
-
-module H = Hashtbl.Make (struct
-  type t = Tuple.t
-
-  let equal = Tuple.equal
-  let hash = Tuple.hash
-end)
+  if not (Exec.pays_off (pair_size a b)) then begin
+    let acc = ref [] in
+    let combined = stream_join a b (fun tup cnt -> acc := (tup, cnt) :: !acc) in
+    Relation.create ~schema:combined (List.rev !acc)
+  end
+  else
+    Obs.span "join.partition" @@ fun () ->
+    let plan = make_plan (Relation.schema a) (Relation.schema b) in
+    let per_partition =
+      partitioned plan a b (fun _p drive ->
+          let acc = ref [] in
+          let emit = instrument_emit (fun tup cnt -> acc := (tup, cnt) :: !acc) in
+          drive emit;
+          List.rev !acc)
+    in
+    Relation.create ~schema:plan.combined (List.concat per_partition)
 
 let join_project ~group a b =
   Obs.span "join.project" @@ fun () ->
@@ -76,15 +149,38 @@ let join_project ~group a b =
     Errors.schema_errorf "join_project: %a not a subset of joined schema %a"
       Schema.pp group Schema.pp combined;
   let positions = Schema.positions ~sub:group combined in
-  let table = H.create 1024 in
-  let emit tup cnt =
-    let key = Tuple.project positions tup in
-    let prev = try H.find table key with Not_found -> 0 in
-    H.replace table key (Count.add prev cnt)
-  in
-  let (_ : Schema.t) = stream_join a b emit in
-  Obs.observe g_groups (H.length table);
-  Relation.create ~schema:group (H.fold (fun t c acc -> (t, c) :: acc) table [])
+  if not (Exec.pays_off (pair_size a b)) then begin
+    let table = H.create 1024 in
+    let emit tup cnt =
+      let key = Tuple.project positions tup in
+      let prev = try H.find table key with Not_found -> 0 in
+      H.replace table key (Count.add prev cnt)
+    in
+    let (_ : Schema.t) = stream_join a b emit in
+    Obs.observe g_groups (H.length table);
+    Relation.create ~schema:group (H.fold (fun t c acc -> (t, c) :: acc) table [])
+  end
+  else begin
+    let plan = make_plan (Relation.schema a) (Relation.schema b) in
+    (* Group keys need not contain the join key, so one group can span
+       partitions: each partition aggregates its own table and
+       [Relation.create]'s normalization sums the spans — order-free
+       because saturating addition is. The gauge consequently reports
+       the largest per-partition table. *)
+    let per_partition =
+      partitioned plan a b (fun _p drive ->
+          let table = H.create 1024 in
+          let grouping tup cnt =
+            let key = Tuple.project positions tup in
+            let prev = try H.find table key with Not_found -> 0 in
+            H.replace table key (Count.add prev cnt)
+          in
+          drive (instrument_emit grouping);
+          Obs.observe g_groups (H.length table);
+          H.fold (fun t c acc -> (t, c) :: acc) table [])
+    in
+    Relation.create ~schema:group (List.concat per_partition)
+  end
 
 let join_all = function
   | [] -> invalid_arg "Join.join_all: empty list"
@@ -121,6 +217,9 @@ let merge_join a b =
     !j
   in
   let out = ref [] in
+  (* Instrument each row as it is emitted rather than re-walking the
+     accumulated output afterwards. *)
+  let emit = instrument_emit (fun tup cnt -> out := (tup, cnt) :: !out) in
   let i = ref 0 and j = ref 0 in
   while !i < Array.length left && !j < Array.length right do
     let c = Tuple.compare (key left.(!i)) (key right.(!j)) in
@@ -132,19 +231,13 @@ let merge_join a b =
         let _, ltup, lcnt = left.(li) in
         for rj = !j to j_end - 1 do
           let _, rtup, rcnt = right.(rj) in
-          out := (combine plan ltup rtup, Count.mul lcnt rcnt) :: !out
+          emit (combine plan ltup rtup) (Count.mul lcnt rcnt)
         done
       done;
       i := i_end;
       j := j_end
     end
   done;
-  if Obs.enabled () then
-    List.iter
-      (fun (_, c) ->
-        Obs.tick c_rows;
-        if Count.is_saturated c then Obs.tick c_sat)
-      !out;
   Relation.create ~schema:plan.combined !out
 
 (* Greedy connected ordering: start from the widest relation and keep
@@ -222,13 +315,25 @@ let semijoin a b =
 
 let count_join a b =
   Obs.span "join.count" @@ fun () ->
-  let total = ref Count.zero in
-  let plan = make_plan (Relation.schema a) (Relation.schema b) in
-  let idx = build_right_index plan b in
-  Relation.iter
-    (fun ltup lcnt ->
-      let key = Tuple.project plan.common_left ltup in
-      let group = Index.group_count idx key in
-      total := Count.add !total (Count.mul lcnt group))
-    a;
-  !total
+  if not (Exec.pays_off (pair_size a b)) then begin
+    let total = ref Count.zero in
+    let plan = make_plan (Relation.schema a) (Relation.schema b) in
+    let idx = build_right_index plan b in
+    Relation.iter
+      (fun ltup lcnt ->
+        let key = Tuple.project plan.common_left ltup in
+        let group = Index.group_count idx key in
+        total := Count.add !total (Count.mul lcnt group))
+      a;
+    !total
+  end
+  else begin
+    let plan = make_plan (Relation.schema a) (Relation.schema b) in
+    let per_partition =
+      partitioned plan a b (fun _p drive ->
+          let total = ref Count.zero in
+          drive (fun _tup cnt -> total := Count.add !total cnt);
+          !total)
+    in
+    List.fold_left Count.add Count.zero per_partition
+  end

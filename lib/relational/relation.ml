@@ -1,21 +1,54 @@
 type t = { schema : Schema.t; rows : (Tuple.t * Count.t) array }
 
-(* Merge duplicate tuples, drop zero counts, sort: the canonical form all
-   constructors funnel through. *)
-let normalize schema pairs =
-  let table = Hashtbl.create (max 16 (List.length pairs)) in
-  List.iter
-    (fun (tup, cnt) ->
-      let prev = try Hashtbl.find table tup with Not_found -> 0 in
-      Hashtbl.replace table tup (Count.add prev cnt))
-    pairs;
+module T = Tuple.Tbl
+
+(* Group an array of (tuple, count) pairs: sum multiplicities per
+   distinct tuple, drop non-positive totals, sort. This is the merge
+   half of the canonical form all constructors funnel through.
+
+   Above the cutoff the pairs are hash-partitioned and each partition is
+   grouped on its own domain: a tuple's partition is a function of its
+   hash, so no key spans two tables, and saturating addition is
+   associative and commutative, so per-partition sums equal the
+   sequential ones — the sorted result is bit-identical to jobs=1. *)
+let group_into table pairs lo hi keep =
+  for i = lo to hi - 1 do
+    if keep i then begin
+      let tup, cnt = pairs.(i) in
+      let prev = try T.find table tup with Not_found -> 0 in
+      T.replace table tup (Count.add prev cnt)
+    end
+  done
+
+let table_rows table =
+  T.fold (fun tup cnt acc -> if cnt > 0 then (tup, cnt) :: acc else acc)
+    table []
+
+let grouped schema pairs =
+  let n = Array.length pairs in
   let rows =
-    Hashtbl.fold (fun tup cnt acc -> if cnt > 0 then (tup, cnt) :: acc else acc)
-      table []
+    if not (Exec.pays_off n) then begin
+      let table = T.create (max 16 n) in
+      group_into table pairs 0 n (fun _ -> true);
+      Array.of_list (table_rows table)
+    end
+    else begin
+      let parts = Exec.jobs () in
+      let buckets = Exec.parallel_map (fun (tup, _) -> Tuple.bucket tup parts) pairs in
+      let groups = Array.make parts [] in
+      Exec.parallel_for ~chunks:parts 0 parts (fun p ->
+          let table = T.create (max 16 (n / parts)) in
+          group_into table pairs 0 n (fun i -> buckets.(i) = p);
+          groups.(p) <- table_rows table);
+      Array.of_list (List.concat (Array.to_list groups))
+    end
   in
-  let rows = Array.of_list rows in
   Array.sort (fun (a, _) (b, _) -> Tuple.compare a b) rows;
   { schema; rows }
+
+(* Merge duplicate tuples, drop zero counts, sort: the canonical form all
+   constructors funnel through. *)
+let normalize schema pairs = grouped schema (Array.of_list pairs)
 
 let check_row schema (tup, cnt) =
   if Tuple.arity tup <> Schema.arity schema then
@@ -79,17 +112,12 @@ let project target r =
   let positions =
     Schema.positions ~sub:target r.schema
   in
-  let table = Hashtbl.create (max 16 (Array.length r.rows)) in
-  Array.iter
-    (fun (tup, cnt) ->
-      let key = Tuple.project positions tup in
-      let prev = try Hashtbl.find table key with Not_found -> 0 in
-      Hashtbl.replace table key (Count.add prev cnt))
-    r.rows;
-  let out = Hashtbl.fold (fun tup cnt acc -> (tup, cnt) :: acc) table [] in
-  let out = Array.of_list out in
-  Array.sort (fun (a, _) (b, _) -> Tuple.compare a b) out;
-  { schema = target; rows = out }
+  let key (tup, cnt) = (Tuple.project positions tup, cnt) in
+  let keyed =
+    if Exec.pays_off (Array.length r.rows) then Exec.parallel_map key r.rows
+    else Array.map key r.rows
+  in
+  grouped target keyed
 
 let filter pred r =
   let rows =
@@ -107,12 +135,21 @@ let add ?(count = 1) tup r =
   check_row r.schema (tup, count);
   normalize r.schema ((tup, count) :: Array.to_list r.rows)
 
+(* Clamp semantics: removing more copies than are stored empties the row
+   and leaves the rest of the relation untouched. The alternative —
+   raising — would make the naive sensitivity oracle's "delete one
+   candidate" probes partial, so over-removal is defined, not an error;
+   only a non-positive [count] is rejected. Pinned by
+   test_relation's remove suite. *)
 let remove ?(count = 1) tup r =
+  if count <= 0 then
+    Errors.data_errorf "remove: non-positive count %d for tuple %a" count
+      Tuple.pp tup;
   match find_index tup r with
   | -1 -> r
   | i ->
       let existing = snd r.rows.(i) in
-      let remaining = existing - count in
+      let remaining = if count >= existing then 0 else existing - count in
       let rows = Array.to_list r.rows in
       let rows =
         List.filteri (fun j _ -> j <> i) rows
@@ -137,9 +174,9 @@ let max_frequency ~over r =
 
 let active_domain attr r =
   let pos = Schema.index attr r.schema in
-  let seen = Hashtbl.create 64 in
-  Array.iter (fun (tup, _) -> Hashtbl.replace seen (Tuple.get tup pos) ()) r.rows;
-  Hashtbl.fold (fun v () acc -> v :: acc) seen []
+  let seen = Value.Tbl.create 64 in
+  Array.iter (fun (tup, _) -> Value.Tbl.replace seen (Tuple.get tup pos) ()) r.rows;
+  Value.Tbl.fold (fun v () acc -> v :: acc) seen []
   |> List.sort Value.compare
 
 let equal a b =

@@ -69,7 +69,10 @@ val add : ?count:Count.t -> Tuple.t -> t -> t
 (** Insert [count] (default 1) copies of a tuple. *)
 
 val remove : ?count:Count.t -> Tuple.t -> t -> t
-(** Remove up to [count] (default 1) copies; absent tuples are ignored. *)
+(** Remove up to [count] (default 1) copies. The count clamps at the
+    stored multiplicity: removing more copies than are present deletes
+    the row and nothing else. Absent tuples are ignored. Raises
+    {!Errors.Data_error} if [count] is not positive. *)
 
 (** {1 Statistics} *)
 

@@ -18,6 +18,18 @@ let equal a b = compare a b = 0
 
 let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
 
+(* One hashed-table functor for every tuple-keyed table in the library
+   (joins, indexes, relation normalization): consistent hashing, no
+   polymorphic-compare fallback. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+let bucket t parts = hash t land max_int mod parts
+
 let project positions t = Array.map (fun i -> t.(i)) positions
 let get t i = t.(i)
 let arity = Array.length

@@ -24,6 +24,13 @@ let hash = function
   | Str s -> Hashtbl.hash (1, s)
   | Bool b -> Hashtbl.hash (2, b)
 
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
 let as_int = function Int n -> Some n | Str _ | Bool _ -> None
 let as_str = function Str s -> Some s | Int _ | Bool _ -> None
 let as_bool = function Bool b -> Some b | Int _ | Str _ -> None

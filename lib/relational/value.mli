@@ -20,6 +20,9 @@ val equal : t -> t -> bool
 val hash : t -> int
 (** Structural hash, consistent with {!equal}. *)
 
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by {!hash}/{!equal}. *)
+
 val as_int : t -> int option
 (** [as_int v] is [Some n] iff [v = Int n]. *)
 

@@ -91,27 +91,43 @@ let local_sensitivity ?selection ?(max_candidates = 100_000) cq db =
       | _ when Count.equal delta Count.zero -> best
       | _ -> Some (tuple, schema, delta)
     in
+    (* Every probe re-evaluates the query on a database differing in one
+       tuple — independent and expensive, so the deltas fan out across
+       the pool. The folds below run in candidate order, keeping the
+       sequential tie-breaking (first strictly-better tuple wins). *)
     (* Deletions: one copy of each existing distinct tuple. *)
-    let best =
-      Relation.fold
-        (fun tuple _ best ->
+    let deletions =
+      Exec.parallel_map
+        (fun (tuple, _) ->
           let removed = count_with cq db relation (Relation.remove tuple rel) in
-          consider best tuple (Count.of_int (base_count - removed)))
-        rel None
+          (tuple, Count.of_int (base_count - removed)))
+        (Relation.rows rel)
     in
-    (* Insertions: one copy of each representative-domain tuple. *)
+    let best =
+      Array.fold_left
+        (fun best (tuple, delta) -> consider best tuple delta)
+        None deletions
+    in
+    (* Insertions: one copy of each representative-domain tuple.
+       Inadmissible candidates map to a zero delta, which [consider]
+       ignores. *)
     let candidates = representative_domain cq db relation in
     if List.length candidates > max_candidates then
       Errors.data_errorf
         "naive sensitivity: %d insertion candidates for %s exceed the limit %d"
         (List.length candidates) relation max_candidates;
+    let insertions =
+      Exec.parallel_map_list
+        (fun tuple ->
+          if not (admissible relation schema tuple) then (tuple, Count.zero)
+          else
+            let added = count_with cq db relation (Relation.add tuple rel) in
+            (tuple, Count.of_int (added - base_count)))
+        candidates
+    in
     List.fold_left
-      (fun best tuple ->
-        if not (admissible relation schema tuple) then best
-        else
-          let added = count_with cq db relation (Relation.add tuple rel) in
-          consider best tuple (Count.of_int (added - base_count)))
-      best candidates
+      (fun best (tuple, delta) -> consider best tuple delta)
+      best insertions
   in
   Sens_types.result_of_per_relation
     (List.map (fun r -> (r, best_for r)) (Cq.relation_names cq))

@@ -282,9 +282,14 @@ let run_component ?(skip = []) ghd db =
       (fun r -> not (List.exists (String.equal r) skip))
       (Cq.relation_names cq)
   in
+  (* Each relation's table depends only on the finished botjoin/topjoin
+     tables and the (persistent) database, so the per-relation work fans
+     out across the pool. The Hashtbls are only read here, which is safe
+     concurrently; result order follows [wanted] regardless of which
+     domain ran which relation. *)
   let tables =
     Obs.span "tsens.tables" @@ fun () ->
-    List.map
+    Exec.parallel_map_list
       (fun relation ->
         let v = Ghd.bag_of ghd relation in
         let co_members =
@@ -459,8 +464,10 @@ let analyze ?selection ?(skip = []) ?(plans = []) cq db =
       (fun r -> Option.map (fun t -> (r, t)) (List.assoc_opt r tables))
       (Cq.relation_names cq)
   in
+  (* Independent per relation (selection scans can materialize a table
+     each); fan out and keep atom order. *)
   let bests =
-    List.map
+    Exec.parallel_map_list
       (fun (relation, table) ->
         (relation, best_of_table selection db cq relation table))
       tables

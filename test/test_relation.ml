@@ -216,6 +216,28 @@ let test_relation_add_remove () =
   let smaller = Relation.remove existing r1_fig1 in
   Alcotest.(check int) "removed one copy" 0 (Relation.count_of existing smaller)
 
+(* Pins the clamp semantics documented in relation.mli: removing more
+   copies than are stored empties the row and leaves the rest of the
+   relation untouched; only a non-positive count raises. *)
+let test_relation_remove_clamp () =
+  let sch = schema [ "A" ] in
+  let x = tup [ s "x" ] and y = tup [ s "y" ] in
+  let r = Relation.create ~schema:sch [ (x, 3); (y, 2) ] in
+  let clamped = Relation.remove ~count:5 x r in
+  Alcotest.(check int) "over-removal empties the row" 0
+    (Relation.count_of x clamped);
+  Alcotest.(check int) "other rows untouched" 2 (Relation.count_of y clamped);
+  Alcotest.(check bool) "over-removal equals exact removal" true
+    (Relation.equal clamped (Relation.remove ~count:3 x r));
+  Alcotest.(check int) "partial removal subtracts" 1
+    (Relation.count_of x (Relation.remove ~count:2 x r));
+  (match Relation.remove ~count:0 x r with
+  | exception Errors.Data_error _ -> ()
+  | _ -> Alcotest.fail "count 0 should raise Data_error");
+  match Relation.remove ~count:(-2) x r with
+  | exception Errors.Data_error _ -> ()
+  | _ -> Alcotest.fail "negative count should raise Data_error"
+
 let test_relation_max_row () =
   let r =
     Relation.create ~schema:(schema [ "A" ])
@@ -409,7 +431,7 @@ let test_index_groups () =
   Alcotest.(check int) "absent group" 0 (Index.group_count idx (tup [ s "zz" ]));
   Alcotest.(check int) "max group" 2 (Index.max_group_count idx);
   Alcotest.(check int) "a1 rows" 2
-    (List.length (Index.lookup idx (tup [ s "a1" ])))
+    (Array.length (Index.lookup idx (tup [ s "a1" ])))
 
 let test_index_empty_key () =
   let idx = Index.build ~key:Schema.empty r1_fig1 in
@@ -695,6 +717,7 @@ let () =
             test_relation_project_sums;
           Alcotest.test_case "filter" `Quick test_relation_filter;
           Alcotest.test_case "add/remove" `Quick test_relation_add_remove;
+          Alcotest.test_case "remove clamps" `Quick test_relation_remove_clamp;
           Alcotest.test_case "max_row" `Quick test_relation_max_row;
           Alcotest.test_case "max_frequency" `Quick test_relation_max_frequency;
           Alcotest.test_case "active_domain" `Quick test_relation_active_domain;
