@@ -1,0 +1,174 @@
+(* Cold/warm sweep of the versioned memoization layer.
+
+   Each pipeline runs three ways on an unchanged database: cache off
+   (the baseline every other bench measures), cache on with empty
+   stores (cold — pays the baseline cost plus keying), and cache on
+   again (warm — every store hit). Results must be bit-identical in all
+   three modes; warm runs must actually hit (the store counters are
+   written to BENCH_cache.json as proof that the DP tables and indexes
+   were not rebuilt). *)
+
+open Tsens_relational
+open Tsens_sensitivity
+open Tsens_dp
+open Tsens_workload
+
+let best_seconds ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let _, s = Bench_util.time f in
+    if s < !best then best := s
+  done;
+  !best
+
+type run = {
+  pipeline : string;
+  uncached_s : float;
+  cold_s : float;
+  warm_s : float;
+  identical : bool; (* cold and warm results equal the uncached one *)
+}
+
+(* Warm timing keeps the stores filled by the cold run: the same
+   (query, versions) keys recur, so every iteration is served from the
+   stores. [equal] compares against the uncached reference. Returns the
+   store counters as they stood right after the warm runs — each
+   pipeline starts from freshly reset stores, so the snapshot is
+   exactly this pipeline's hit/miss profile. *)
+let measure ~repeats ~equal pipeline f =
+  Cache.set_enabled false;
+  let reference = f () in
+  let uncached_s = best_seconds ~repeats f in
+  Cache.set_enabled true;
+  Cache.reset ();
+  let cold_result, cold_s = Bench_util.time f in
+  let warm_s = best_seconds ~repeats f in
+  let warm_result = f () in
+  ( {
+      pipeline;
+      uncached_s;
+      cold_s;
+      warm_s;
+      identical = equal reference cold_result && equal reference warm_result;
+    },
+    Cache.stats () )
+
+(* Per-pipeline snapshots merged by store: counters add up, the
+   point-in-time gauges (entries, bytes) keep their maximum. *)
+let merge_stats snapshots =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (List.iter (fun (s : Cache.stats) ->
+         match Hashtbl.find_opt table s.Cache.store with
+         | None -> Hashtbl.replace table s.Cache.store s
+         | Some prev ->
+             Hashtbl.replace table s.Cache.store
+               {
+                 s with
+                 Cache.hits = prev.Cache.hits + s.Cache.hits;
+                 misses = prev.Cache.misses + s.Cache.misses;
+                 evictions = prev.Cache.evictions + s.Cache.evictions;
+                 entries = max prev.Cache.entries s.Cache.entries;
+                 approx_bytes = max prev.Cache.approx_bytes s.Cache.approx_bytes;
+               }))
+    snapshots;
+  Hashtbl.fold (fun _ s acc -> s :: acc) table []
+  |> List.sort (fun (a : Cache.stats) b ->
+         String.compare a.Cache.store b.Cache.store)
+
+let equal_result (a : Sens_types.result) (b : Sens_types.result) =
+  Count.equal a.local_sensitivity b.local_sensitivity
+  && List.equal
+       (fun (r1, c1) (r2, c2) -> String.equal r1 r2 && Count.equal c1 c2)
+       a.per_relation b.per_relation
+
+let json_of_run r =
+  Printf.sprintf
+    "{\"name\":%S,\"uncached_s\":%.9f,\"cold_s\":%.9f,\"warm_s\":%.9f,\"speedup_warm\":%.3f,\"identical\":%b}"
+    r.pipeline r.uncached_s r.cold_s r.warm_s
+    (if r.warm_s > 0.0 then r.uncached_s /. r.warm_s else 1.0)
+    r.identical
+
+let json_of_store (s : Cache.stats) =
+  Printf.sprintf
+    "{\"name\":%S,\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d,\"approx_bytes\":%d}"
+    s.Cache.store s.Cache.hits s.Cache.misses s.Cache.evictions s.Cache.entries
+    s.Cache.approx_bytes
+
+let run ~seed ~scale ~repeats ~out =
+  Bench_util.print_heading "cache: cold/warm sweep";
+  let was_enabled = Cache.enabled () in
+  let db = Tpch.generate ~seed ~scale () in
+  let plans = Queries.tpch_plans in
+  (* Sequential lets, not a list literal: each measure resets the
+     stores, so the order must be the program order (OCaml evaluates
+     list elements right to left). *)
+  let tsens_run =
+    measure ~repeats ~equal:equal_result "tsens/q1" (fun () ->
+        Tsens.local_sensitivity ~plans Queries.q1 db)
+  in
+  let elastic_run =
+    measure ~repeats ~equal:equal_result "elastic/q1" (fun () ->
+        Elastic.local_sensitivity ~plans Queries.q1 db)
+  in
+  let truncation_run =
+    measure ~repeats ~equal:(List.equal Count.equal) "truncation/q1"
+      (fun () ->
+        let analysis = Tsens.analyze ~plans Queries.q1 db in
+        let profile = Truncation.profile analysis "Customer" in
+        List.map (Truncation.truncated_answer profile) [ 1; 4; 16; 64 ])
+  in
+  let count_run =
+    measure ~repeats ~equal:Count.equal "count/q1" (fun () ->
+        Yannakakis.count ~plans Queries.q1 db)
+  in
+  let measured = [ tsens_run; elastic_run; truncation_run; count_run ] in
+  let runs = List.map fst measured in
+  let stores = merge_stats (List.map snd measured) in
+  Cache.set_enabled was_enabled;
+  Bench_util.print_table
+    ~columns:[ "pipeline"; "uncached"; "cold"; "warm"; "speedup"; "identical" ]
+    (List.map
+       (fun r ->
+         [
+           r.pipeline;
+           Bench_util.seconds_to_string r.uncached_s;
+           Bench_util.seconds_to_string r.cold_s;
+           Bench_util.seconds_to_string r.warm_s;
+           Printf.sprintf "%.2fx"
+             (if r.warm_s > 0.0 then r.uncached_s /. r.warm_s else 1.0);
+           string_of_bool r.identical;
+         ])
+       runs);
+  Bench_util.print_table
+    ~columns:[ "store"; "hits"; "misses"; "evictions"; "entries"; "bytes" ]
+    (List.map
+       (fun (s : Cache.stats) ->
+         [
+           s.Cache.store;
+           string_of_int s.Cache.hits;
+           string_of_int s.Cache.misses;
+           string_of_int s.Cache.evictions;
+           string_of_int s.Cache.entries;
+           string_of_int s.Cache.approx_bytes;
+         ])
+       stores);
+  let json =
+    Printf.sprintf
+      "{\"host_cores\":%d,\"scale\":%f,\"pipelines\":[%s],\"stores\":[%s]}"
+      (Domain.recommended_domain_count ())
+      scale
+      (String.concat "," (List.map json_of_run runs))
+      (String.concat "," (List.map json_of_store stores))
+  in
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc json;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n%!" out;
+  if not (List.for_all (fun r -> r.identical) runs) then
+    failwith "cache bench: cached results differ from uncached";
+  let total_hits =
+    List.fold_left (fun acc (s : Cache.stats) -> acc + s.Cache.hits) 0 stores
+  in
+  if total_hits = 0 then
+    failwith "cache bench: warm runs never hit the stores"

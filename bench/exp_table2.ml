@@ -89,7 +89,7 @@ let run ~seed ~scale ~runs ~epsilon ~fb_params =
             method_name;
             Bench_util.pp_percent s.Metrics.median_error;
             Bench_util.pp_percent s.Metrics.median_bias;
-            Printf.sprintf "%.0f" s.Metrics.median_global_sensitivity;
+            Report.value_to_string s.Metrics.median_global_sensitivity;
             Bench_util.seconds_to_string s.Metrics.mean_seconds;
           ]
         in

@@ -55,6 +55,40 @@ let jobs_arg =
 
 let apply_jobs = function None -> () | Some n -> Exec.set_jobs n
 
+(* --cache / --no-cache override the TSENS_CACHE default; results are
+   bit-identical either way, caching only changes what gets recomputed. *)
+let cache_arg =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some true,
+            info [ "cache" ]
+              ~doc:
+                "Memoize sensitivity analyses, indexes and truncation \
+                 profiles across calls, keyed by relation version stamps \
+                 (default: the $(b,TSENS_CACHE) environment variable). \
+                 Results are identical with and without." );
+          ( Some false,
+            info [ "no-cache" ] ~doc:"Disable the memoization layer." );
+        ])
+
+let cache_stats_flag =
+  Arg.(
+    value & flag
+    & info [ "cache-stats" ]
+        ~doc:
+          "Print per-store cache statistics (hits, misses, evictions, \
+           entries, approximate bytes) to stderr when done.")
+
+let apply_cache = function None -> () | Some b -> Cache.set_enabled b
+
+let with_cache_stats ~cache_stats f =
+  Fun.protect
+    ~finally:(fun () ->
+      if cache_stats then Format.eprintf "%a@." Cache.pp_stats (Cache.stats ()))
+    f
+
 let sql_flag =
   Arg.(
     value & flag
@@ -407,9 +441,12 @@ let explain_flag =
     & info [ "explain" ]
         ~doc:"Print intermediate topjoin/botjoin and table sizes.")
 
-let run_sensitivity query data algorithm k tables explain sql jobs stats trace =
+let run_sensitivity query data algorithm k tables explain sql jobs cache
+    cache_stats stats trace =
   handle_errors (fun () ->
       apply_jobs jobs;
+      apply_cache cache;
+      with_cache_stats ~cache_stats @@ fun () ->
       with_observability ~stats ~trace @@ fun () ->
       let cq, constraints, db = prepare ~sql query data in
       let selection = Constraints.selection constraints in
@@ -452,8 +489,8 @@ let sensitivity_cmd =
        ~doc:"Local sensitivity of a counting query over CSV relations.")
     Term.(
       const run_sensitivity $ query_arg $ data_dir_arg $ algorithm_arg $ k_arg
-      $ tables_flag $ explain_flag $ sql_flag $ jobs_arg $ stats_arg
-      $ trace_flag)
+      $ tables_flag $ explain_flag $ sql_flag $ jobs_arg $ cache_arg
+      $ cache_stats_flag $ stats_arg $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
 (* generate *)
@@ -518,9 +555,12 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 (* dp *)
 
-let run_dp query data private_relation epsilon ell seed sql jobs stats trace =
+let run_dp query data private_relation epsilon ell seed sql jobs cache
+    cache_stats stats trace =
   handle_errors (fun () ->
       apply_jobs jobs;
+      apply_cache cache;
+      with_cache_stats ~cache_stats @@ fun () ->
       with_observability ~stats ~trace @@ fun () ->
       let cq, constraints, db = prepare ~sql query data in
       let selection = Constraints.selection constraints in
@@ -533,7 +573,8 @@ let run_dp query data private_relation epsilon ell seed sql jobs stats trace =
       in
       let rng = Prng.create seed in
       let report = Mechanism.run_with_analysis rng config analysis in
-      Format.printf "released answer: %.1f@." (Report.released report);
+      Format.printf "released answer: %a@." Report.pp_value
+        (Report.released report);
       Format.printf "%a@." Report.pp report)
 
 let dp_cmd =
@@ -557,7 +598,8 @@ let dp_cmd =
        ~doc:"Release the counting query's answer with TSensDP (epsilon-DP).")
     Term.(
       const run_dp $ query_arg $ data_dir_arg $ private_rel $ epsilon $ ell
-      $ seed_arg $ sql_flag $ jobs_arg $ stats_arg $ trace_flag)
+      $ seed_arg $ sql_flag $ jobs_arg $ cache_arg $ cache_stats_flag
+      $ stats_arg $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
 

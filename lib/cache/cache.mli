@@ -1,0 +1,103 @@
+(** Versioned memoization of sensitivity work.
+
+    The TSens dynamic program, built indexes, elastic [mf] statistics
+    and truncation profiles are all pure functions of (query, database).
+    Relations carry unique version stamps ({!Tsens_relational.Relation.version}),
+    so "the database this was computed from" compresses to a short key:
+    a query fingerprint plus the per-relation stamps. This module keeps
+    one bounded {!Lru} store per artifact kind behind a process-global
+    toggle, with per-store Obs counters
+    ([cache.<store>.hits/misses/evictions] and a [cache.<store>.bytes]
+    gauge) so cache behavior shows up in [--stats] reports.
+
+    Correctness does not depend on invalidation: stamps are unique per
+    constructed relation, so a mutated database can never collide with a
+    cached key — stale entries are unreachable, not wrong, and age out
+    of the LRU. Explicit invalidation ({!Store.clear}, {!reset}) exists
+    to bound memory and to make tests deterministic.
+
+    Cached values are the exact values the uncached computation would
+    produce (the stores memoize whole results, not approximations), and
+    every cacheable computation is deterministic across [--jobs] levels
+    (PR 3's contract), so cached results are bit-identical to uncached
+    ones at any job count — the test suite enforces this.
+
+    The toggle defaults to the [TSENS_CACHE] environment variable:
+    unset, empty, ["0"], ["false"] or ["off"] leave caching off, any
+    other value turns it on. [tsens_cli]'s [--cache]/[--no-cache]
+    override it per invocation. While the toggle is off every
+    {!Store.find_or_add} just runs its compute function — no lookups, no
+    stats. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** Cache-key construction. Keys are flat strings: cheap to hash, easy
+    to log, and they keep the LRU monomorphic. *)
+module Key : sig
+  val of_parts : string list -> string
+  (** Join components with a separator that cannot collide with the
+      output of {!versions} or with printed query/plan fingerprints. *)
+
+  val versions : (string * int) list -> string
+  (** Render [Database.versions] output (name, stamp) pairs. *)
+
+  val db : Tsens_relational.Database.t -> string
+  (** [versions (Database.versions db)]. *)
+end
+
+type stats = {
+  store : string;
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  approx_bytes : int;
+}
+
+module Store : sig
+  type 'a t
+  (** A named, bounded, registered LRU of ['a] values. Create stores
+      once at module initialisation; each creation interns Obs handles
+      and registers the store with {!stats}/{!reset}. *)
+
+  val create : name:string -> capacity:int -> ?weight:('a -> int) -> unit -> 'a t
+
+  val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+  (** [find_or_add store key compute] returns the cached value for
+      [key], or runs [compute ()] and caches the result. When the global
+      toggle is off this is exactly [compute ()]. The compute function
+      runs outside the store's lock: concurrent misses on one key may
+      compute the value more than once, which is harmless because every
+      cached computation is deterministic. *)
+
+  val find : 'a t -> string -> 'a option
+  (** [None] when disabled or absent. *)
+
+  val add : 'a t -> string -> 'a -> unit
+  (** No-op when disabled. *)
+
+  val remove : 'a t -> string -> unit
+  val clear : 'a t -> unit
+  val stats : 'a t -> stats
+end
+
+val stats : unit -> stats list
+(** Every registered store's stats, sorted by store name. *)
+
+val reset : unit -> unit
+(** Clear every registered store and zero its hit/miss/eviction totals. *)
+
+val pp_stats : Format.formatter -> stats list -> unit
+(** Aligned table, one row per store. *)
+
+val index :
+  key:Tsens_relational.Schema.t ->
+  Tsens_relational.Relation.t ->
+  Tsens_relational.Index.t
+(** Version-keyed {!Tsens_relational.Index.build}: hits reuse the frozen
+    index built for the same (relation version, key schema); any update
+    to the relation yields a new stamp and therefore a rebuilt index —
+    a cached index can never serve stale groups. The returned index's
+    lookup arrays are shared across all callers of the same key, so the
+    no-mutation contract of [Index.lookup] is load-bearing here. *)

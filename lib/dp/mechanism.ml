@@ -55,19 +55,26 @@ let run_with_analysis rng config analysis =
     | Some j -> j + 1
     | None -> config.ell
   in
-  let truncated_answer = answer_at threshold in
+  let truncated_count = Truncation.truncated_answer profile threshold in
+  let truncated_answer = float_of_int truncated_count in
   let noisy_answer =
     Laplace.mechanism rng ~epsilon:epsilon_answer
       ~sensitivity:(float_of_int threshold) truncated_answer
   in
+  let out_size = Tsens.output_size analysis in
   {
     Report.noisy_answer;
     truncated_answer;
-    true_answer = float_of_int (Tsens.output_size analysis);
+    true_answer = float_of_int out_size;
     global_sensitivity = float_of_int threshold;
     threshold;
     epsilon = config.epsilon;
     epsilon_threshold;
+    (* A saturated |Q(D)| or truncated answer would otherwise leak here
+       as a raw max_int float; flag it so renderers print "overflow". *)
+    saturated =
+      Tsens_relational.Count.is_saturated out_size
+      || Tsens_relational.Count.is_saturated truncated_count;
   }
 
 let run rng config ?plans cq db =

@@ -7,6 +7,7 @@ type summary = {
   median_global_sensitivity : float;
   median_threshold : float;
   mean_seconds : float;
+  saturated_runs : int;
 }
 
 let median = function
@@ -37,10 +38,17 @@ let summarize = function
         median_threshold =
           median (map (fun t -> float_of_int t.report.Report.threshold));
         mean_seconds = mean (map (fun t -> t.seconds));
+        saturated_runs =
+          List.length
+            (List.filter (fun t -> t.report.Report.saturated) trials);
       }
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "error %.2f%%  bias %.2f%%  GS %.0f  tau %.0f  time %.3fs (%d runs)"
+    "error %.2f%%  bias %.2f%%  GS %a  tau %.0f  time %.3fs (%d runs)%s"
     (100.0 *. s.median_error) (100.0 *. s.median_bias)
-    s.median_global_sensitivity s.median_threshold s.mean_seconds s.runs
+    Report.pp_value s.median_global_sensitivity s.median_threshold
+    s.mean_seconds s.runs
+    (if s.saturated_runs > 0 then
+       Printf.sprintf "  [%d saturated]" s.saturated_runs
+     else "")

@@ -11,6 +11,10 @@ type summary = {
   median_global_sensitivity : float;
   median_threshold : float;
   mean_seconds : float;
+  saturated_runs : int;
+      (** trials whose report carried the {!Report.type-t.saturated} flag;
+          when positive the medians involving saturated quantities are
+          upper bounds, and {!pp_summary} flags them *)
 }
 
 val median : float list -> float

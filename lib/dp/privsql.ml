@@ -63,7 +63,9 @@ let learn_frequency_cap rng ~epsilon ~ell rel key =
 
 let truncate_by_frequency rel key cap =
   let key_schema = Schema.of_list [ key ] in
-  let groups = Tsens_relational.Index.build ~key:key_schema rel in
+  (* Version-keyed: repeated runs over an unchanged relation (bench
+     sweeps re-learn caps per trial) reuse the frequency index. *)
+  let groups = Cache.index ~key:key_schema rel in
   let positions = Schema.positions ~sub:key_schema (Relation.schema rel) in
   Relation.filter
     (fun _schema tuple ->
@@ -110,9 +112,8 @@ let run rng config ?plans cq db =
   let global_sensitivity =
     Elastic.relation_sensitivity cq truncated_db plan config.private_relation
   in
-  let truncated_answer =
-    float_of_int (Yannakakis.count ?plans cq truncated_db)
-  in
+  let truncated_count = Yannakakis.count ?plans cq truncated_db in
+  let truncated_answer = float_of_int truncated_count in
   let noisy_answer =
     Laplace.mechanism rng ~epsilon:epsilon_answer
       ~sensitivity:(float_of_int global_sensitivity) truncated_answer
@@ -125,4 +126,10 @@ let run rng config ?plans cq db =
     threshold = List.fold_left max 0 caps;
     epsilon = config.epsilon;
     epsilon_threshold;
+    (* The elastic bound saturates routinely on large instances; without
+       the flag the report would print the raw max_int as its GS. *)
+    saturated =
+      Count.is_saturated global_sensitivity
+      || Count.is_saturated true_answer
+      || Count.is_saturated truncated_count;
   }

@@ -1,3 +1,5 @@
+open Tsens_relational
+
 type t = {
   noisy_answer : float;
   truncated_answer : float;
@@ -6,6 +8,7 @@ type t = {
   threshold : int;
   epsilon : float;
   epsilon_threshold : float;
+  saturated : bool;
 }
 
 let released r = Float.max 0.0 r.noisy_answer
@@ -16,12 +19,22 @@ let relative_to truth x =
 let relative_error r = relative_to r.true_answer (released r)
 let relative_bias r = relative_to r.true_answer r.truncated_answer
 
+(* Count.max_count rounds up when converted to float, so >= catches the
+   exact saturated value and anything derived from it by float ops. *)
+let saturation_point = float_of_int Count.max_count
+
+let value_to_string x =
+  if x >= saturation_point then "overflow" else Printf.sprintf "%.1f" x
+
+let pp_value ppf x = Format.pp_print_string ppf (value_to_string x)
+
 let pp ppf r =
   Format.fprintf ppf
-    "@[<v>released: %.1f (true %.1f, truncated %.1f)@,\
+    "@[<v>released: %a (true %a, truncated %a)@,\
      error: %.2f%%  bias: %.2f%%@,\
-     GS: %.1f  tau: %d  epsilon: %.3f (%.3f on threshold)@]"
-    (released r) r.true_answer r.truncated_answer
+     GS: %a  tau: %d  epsilon: %.3f (%.3f on threshold)%s@]"
+    pp_value (released r) pp_value r.true_answer pp_value r.truncated_answer
     (100.0 *. relative_error r)
     (100.0 *. relative_bias r)
-    r.global_sensitivity r.threshold r.epsilon r.epsilon_threshold
+    pp_value r.global_sensitivity r.threshold r.epsilon r.epsilon_threshold
+    (if r.saturated then "  [saturated]" else "")

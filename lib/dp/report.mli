@@ -15,6 +15,11 @@ type t = {
   threshold : int;  (** the learned truncation threshold τ *)
   epsilon : float;  (** total privacy budget consumed *)
   epsilon_threshold : float;  (** share spent learning the threshold *)
+  saturated : bool;
+      (** some ground-truth or sensitivity quantity behind this report
+          saturated ({!Tsens_relational.Count.max_count}): the affected
+          fields are upper bounds, not exact values. Rendering must not
+          print them as plain numbers — see {!pp_value}. *)
 }
 
 val released : t -> float
@@ -28,4 +33,16 @@ val relative_error : t -> float
 val relative_bias : t -> float
 (** |truncated − true| / true — the deterministic part of the error. *)
 
+val value_to_string : float -> string
+(** Render an answer/sensitivity value, as ["overflow"] when it reaches
+    the {!Tsens_relational.Count.max_count} saturation point — the
+    float-side counterpart of {!Tsens_relational.Count.to_string}, for
+    JSON and table emission paths that would otherwise leak the raw
+    saturated integer. *)
+
+val pp_value : Format.formatter -> float -> unit
+(** [pp_value] prints {!value_to_string}. *)
+
 val pp : Format.formatter -> t -> unit
+(** Renders saturated values as ["overflow"] and appends a [[saturated]]
+    marker when {!type-t.saturated} is set. *)

@@ -15,7 +15,17 @@ type profile
     fast thresholding. *)
 
 val profile : Tsens.analysis -> string -> profile
-(** Raises {!Errors.Schema_error} if the relation is not in the query. *)
+(** Raises {!Errors.Schema_error} if the relation is not in the query.
+    Memoized by (analysis identity, relation) when the cache layer is
+    on: the analysis's {!Tsens.analysis_id} keys the store, so repeated
+    mechanism runs over one analysis sort the profile once. *)
+
+val last_kept : profile -> int -> int
+(** Index of the last profiled entry whose tuple sensitivity is at most
+    the threshold, or [-1] when every entry exceeds it (and on the empty
+    profile). Entries are sorted ascending with duplicate-sensitivity
+    runs; the returned index is always the {e last} entry of its run, so
+    [cumulative.(last_kept p i)] is a complete prefix sum. *)
 
 val truncated_answer : profile -> int -> Count.t
 (** [truncated_answer p i] = |Q(T_TSens(Q, D, i))|. Monotone in [i];
@@ -31,5 +41,7 @@ val tuples_dropped : profile -> int -> Count.t
 val truncate_database :
   Tsens.analysis -> string -> int -> Database.t -> Database.t
 (** Materializes T_TSens(Q, D, i): the same database with the private
-    relation filtered. For tests and inspection — the mechanisms use
+    relation filtered. The filtered relation keeps the stored column
+    order of the input database (sensitivities are probed in atom order
+    internally). For tests and inspection — the mechanisms use
     {!truncated_answer} instead. *)

@@ -25,6 +25,21 @@ let instrument_emit emit =
     if Count.is_saturated cnt then Obs.tick c_sat;
     emit tup cnt
 
+(* Aggregation can saturate even when every emitted row is finite: a
+   per-group sum crosses max_count inside the grouping table, which the
+   emit instrumentation above never sees. Tick the saturation counter at
+   the transition (both operands finite, sum saturated) so overflow that
+   happens in group-by — not in emission — still reaches the report. *)
+let add_tracked prev cnt =
+  let sum = Count.add prev cnt in
+  if
+    Obs.enabled ()
+    && Count.is_saturated sum
+    && not (Count.is_saturated prev)
+    && not (Count.is_saturated cnt)
+  then Obs.tick c_sat;
+  sum
+
 type plan = {
   combined : Schema.t;
   common_left : int array; (* positions of common attrs in the left schema *)
@@ -154,7 +169,7 @@ let join_project ~group a b =
     let emit tup cnt =
       let key = Tuple.project positions tup in
       let prev = try H.find table key with Not_found -> 0 in
-      H.replace table key (Count.add prev cnt)
+      H.replace table key (add_tracked prev cnt)
     in
     let (_ : Schema.t) = stream_join a b emit in
     Obs.observe g_groups (H.length table);
@@ -173,7 +188,7 @@ let join_project ~group a b =
           let grouping tup cnt =
             let key = Tuple.project positions tup in
             let prev = try H.find table key with Not_found -> 0 in
-            H.replace table key (Count.add prev cnt)
+            H.replace table key (add_tracked prev cnt)
           in
           drive (instrument_emit grouping);
           Obs.observe g_groups (H.length table);
@@ -323,7 +338,7 @@ let count_join a b =
       (fun ltup lcnt ->
         let key = Tuple.project plan.common_left ltup in
         let group = Index.group_count idx key in
-        total := Count.add !total (Count.mul lcnt group))
+        total := add_tracked !total (Count.mul lcnt group))
       a;
     !total
   end
@@ -332,8 +347,8 @@ let count_join a b =
     let per_partition =
       partitioned plan a b (fun _p drive ->
           let total = ref Count.zero in
-          drive (fun _tup cnt -> total := Count.add !total cnt);
+          drive (fun _tup cnt -> total := add_tracked !total cnt);
           !total)
     in
-    List.fold_left Count.add Count.zero per_partition
+    List.fold_left add_tracked Count.zero per_partition
   end

@@ -1,4 +1,18 @@
-type t = { schema : Schema.t; rows : (Tuple.t * Count.t) array }
+type t = {
+  schema : Schema.t;
+  rows : (Tuple.t * Count.t) array;
+  version : int;
+}
+
+(* Version stamps are allocated from one process-wide counter so that no
+   two constructed relations ever share a stamp. Relations are
+   immutable, so "mutation" (add/remove/import) always builds a new
+   value with a fresh stamp — a cache entry keyed by version can
+   therefore never be stale, only unreachable (and LRU eviction reclaims
+   those). Atomic because relations are also built on worker domains. *)
+let version_counter = Atomic.make 0
+let next_version () = Atomic.fetch_and_add version_counter 1
+let version r = r.version
 
 module T = Tuple.Tbl
 
@@ -44,7 +58,7 @@ let grouped schema pairs =
     end
   in
   Array.sort (fun (a, _) (b, _) -> Tuple.compare a b) rows;
-  { schema; rows }
+  { schema; rows; version = next_version () }
 
 (* Merge duplicate tuples, drop zero counts, sort: the canonical form all
    constructors funnel through. *)
@@ -67,7 +81,7 @@ let of_tuples ~schema tuples = create ~schema (List.map (fun t -> (t, 1)) tuples
 let of_rows ~schema rows =
   of_tuples ~schema (List.map Tuple.of_list rows)
 
-let empty schema = { schema; rows = [||] }
+let empty schema = { schema; rows = [||]; version = next_version () }
 
 let schema r = r.schema
 let rows r = r.rows
@@ -123,13 +137,18 @@ let filter pred r =
   let rows =
     Array.to_list r.rows |> List.filter (fun (tup, _) -> pred r.schema tup)
   in
-  { schema = r.schema; rows = Array.of_list rows }
+  { schema = r.schema; rows = Array.of_list rows; version = next_version () }
 
-let rename mapping r = { r with schema = Schema.rename mapping r.schema }
+let rename mapping r =
+  { r with schema = Schema.rename mapping r.schema; version = next_version () }
 
 let scale factor r =
   if factor <= 0 then Errors.data_errorf "scale: non-positive factor %d" factor;
-  { r with rows = Array.map (fun (t, c) -> (t, Count.mul c factor)) r.rows }
+  {
+    r with
+    rows = Array.map (fun (t, c) -> (t, Count.mul c factor)) r.rows;
+    version = next_version ();
+  }
 
 let add ?(count = 1) tup r =
   check_row r.schema (tup, count);
@@ -186,14 +205,22 @@ let equal a b =
        (fun (t1, c1) (t2, c2) -> Tuple.equal t1 t2 && Count.equal c1 c2)
        a.rows b.rows
 
+(* The identity shortcut matters for the cache layer: [Cq.instance]
+   reorders every atom's columns, and without it each call would mint
+   fresh relation values (fresh version stamps) even when the stored
+   schema already matches, defeating version-keyed memoization. Rows are
+   already canonical, so returning [r] unchanged is exact. *)
 let reorder target r =
-  if not (Schema.equal_as_sets target r.schema) then
-    Errors.schema_errorf "reorder: %a and %a hold different attributes"
-      Schema.pp target Schema.pp r.schema;
-  let positions = Schema.positions ~sub:target r.schema in
-  normalize target
-    (Array.to_list r.rows
-    |> List.map (fun (tup, cnt) -> (Tuple.project positions tup, cnt)))
+  if Schema.equal target r.schema then r
+  else begin
+    if not (Schema.equal_as_sets target r.schema) then
+      Errors.schema_errorf "reorder: %a and %a hold different attributes"
+        Schema.pp target Schema.pp r.schema;
+    let positions = Schema.positions ~sub:target r.schema in
+    normalize target
+      (Array.to_list r.rows
+      |> List.map (fun (tup, cnt) -> (Tuple.project positions tup, cnt)))
+  end
 
 let equal_semantic a b =
   Schema.equal_as_sets a.schema b.schema && equal a (reorder a.schema b)

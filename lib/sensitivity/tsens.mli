@@ -25,7 +25,15 @@ type selection = string -> Schema.t -> Tuple.t -> bool
     [relation] satisfies the query's selection predicate. *)
 
 type analysis
-(** The full output of the DP, reusable by the DP-mechanism layer. *)
+(** The full output of the DP, reusable by the DP-mechanism layer. An
+    analysis is a first-class value: build it once ({!analyze}), then
+    probe it many times ({!tuple_sensitivity}, {!top_sensitive},
+    {!multiplicity_table}) without re-running the passes. *)
+
+val analysis_id : analysis -> int
+(** Unique identity of the DP run that built this analysis; a cached
+    {!analyze} hit returns the original run's value, same id. Downstream
+    memos (truncation profiles) key on it. *)
 
 val analyze :
   ?selection:selection ->
@@ -46,7 +54,13 @@ val analyze :
     witness; asking for their table or tuple sensitivities raises.
 
     Raises {!Errors.Schema_error} if the database does not match the
-    query or a skipped relation is not in it. *)
+    query or a skipped relation is not in it.
+
+    When the cache layer is on ({!Cache.enabled}) and no [selection] is
+    given, the analysis is memoized by (query, skip, plans, relation
+    version stamps): repeated calls on an unchanged database return the
+    same analysis value without re-running the DP. Selections are
+    arbitrary closures and always run uncached. *)
 
 val local_sensitivity :
   ?selection:selection ->

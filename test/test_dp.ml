@@ -193,6 +193,229 @@ let prop_truncation_global_sensitivity =
       in
       abs (answer_on db' - base) <= threshold)
 
+(* Linear-scan oracle for the binary-search thresholding: recompute the
+   truncated answer and dropped mass directly from per-tuple
+   sensitivities, without sorting or prefix sums. *)
+let oracle_truncated analysis relation threshold =
+  Relation.fold
+    (fun t cnt acc ->
+      let d = Tsens.tuple_sensitivity analysis relation t in
+      if d <= threshold then Count.add acc (Count.mul cnt d) else acc)
+    (Tsens.instance_relation analysis relation)
+    Count.zero
+
+let oracle_dropped analysis relation threshold =
+  Relation.fold
+    (fun t cnt acc ->
+      let d = Tsens.tuple_sensitivity analysis relation t in
+      if d > threshold then Count.add acc cnt else acc)
+    (Tsens.instance_relation analysis relation)
+    Count.zero
+
+let p3_cq =
+  Cq.make ~name:"p3"
+    [ ("R1", [ "A"; "B" ]); ("R2", [ "B"; "C" ]); ("R3", [ "C"; "D" ]) ]
+
+let test_truncation_boundaries () =
+  (* Duplicate-sensitivity runs: every R2 tuple has δ = 1, so the
+     profile is one run of three equal entries. last_kept must land on
+     the rightmost entry of the run (a complete prefix), not on the
+     first binary-search hit inside it. *)
+  let db =
+    Database.of_list
+      [
+        ( "R1",
+          Relation.create ~schema:(schema [ "A"; "B" ])
+            [ (tup [ s "a"; s "b1" ], 1) ] );
+        ( "R2",
+          Relation.create ~schema:(schema [ "B"; "C" ])
+            [
+              (tup [ s "b1"; s "c1" ], 1);
+              (tup [ s "b1"; s "c2" ], 1);
+              (tup [ s "b1"; s "c3" ], 1);
+            ] );
+        ( "R3",
+          Relation.create ~schema:(schema [ "C"; "D" ])
+            [
+              (tup [ s "c1"; s "d" ], 1);
+              (tup [ s "c2"; s "d" ], 1);
+              (tup [ s "c3"; s "d" ], 1);
+            ] );
+      ]
+  in
+  let analysis = Tsens.analyze p3_cq db in
+  let p = Truncation.profile analysis "R2" in
+  Alcotest.(check int) "all-exceed: nothing kept" (-1) (Truncation.last_kept p 0);
+  Alcotest.(check int) "all-exceed: answer 0" 0 (Truncation.truncated_answer p 0);
+  Alcotest.(check int) "all-exceed: everything dropped" 3
+    (Truncation.tuples_dropped p 0);
+  Alcotest.(check int) "run end, not first hit" 2 (Truncation.last_kept p 1);
+  Alcotest.(check int) "complete prefix over the run" 3
+    (Truncation.truncated_answer p 1);
+  Alcotest.(check int) "past the maximum" 2 (Truncation.last_kept p 100);
+  (* Tuples with δ = 0 (no join partner) are kept even at threshold 0
+     but contribute nothing. *)
+  let db0 =
+    Database.update ~name:"R2" (Relation.add (tup [ s "zz"; s "zz" ])) db
+  in
+  let a0 = Tsens.analyze p3_cq db0 in
+  let p0 = Truncation.profile a0 "R2" in
+  Alcotest.(check int) "zero-δ entry kept at 0" 0 (Truncation.last_kept p0 0);
+  Alcotest.(check int) "zero-δ contributes nothing" 0
+    (Truncation.truncated_answer p0 0);
+  Alcotest.(check int) "zero-δ not dropped" 3 (Truncation.tuples_dropped p0 0)
+
+let test_truncation_empty_profile () =
+  let db =
+    Database.of_list
+      [
+        ( "R1",
+          Relation.create ~schema:(schema [ "A"; "B" ])
+            [ (tup [ s "a"; s "b" ], 1) ] );
+        ("R2", Relation.empty (schema [ "B"; "C" ]));
+        ( "R3",
+          Relation.create ~schema:(schema [ "C"; "D" ])
+            [ (tup [ s "c"; s "d" ], 1) ] );
+      ]
+  in
+  let p = Truncation.profile (Tsens.analyze p3_cq db) "R2" in
+  List.iter
+    (fun i ->
+      Alcotest.(check int) "empty: last_kept" (-1) (Truncation.last_kept p i);
+      Alcotest.(check int) "empty: answer" 0 (Truncation.truncated_answer p i);
+      Alcotest.(check int) "empty: dropped" 0 (Truncation.tuples_dropped p i))
+    [ 0; 1; 7 ]
+
+(* Every threshold from 0 past the maximum sensitivity, on random
+   instances, against the linear oracle. Exercises exact-match,
+   between-runs, below-minimum and above-maximum thresholds (many of
+   the random instances have duplicate-δ runs by construction: values
+   are drawn from a 4-element domain). *)
+let prop_truncation_matches_oracle =
+  let gen =
+    QCheck2.Gen.(
+      let rel_gen attrs =
+        list_size (int_range 0 6)
+          (pair
+             (map Tuple.of_list (list_repeat 2 (map Value.int (int_range 0 3))))
+             (int_range 1 3))
+        >>= fun rows ->
+        return (Relation.create ~schema:(Schema.of_list attrs) rows)
+      in
+      rel_gen [ "A"; "B" ] >>= fun r1 ->
+      rel_gen [ "B"; "C" ] >>= fun r2 ->
+      rel_gen [ "C"; "D" ] >>= fun r3 ->
+      return (Database.of_list [ ("R1", r1); ("R2", r2); ("R3", r3) ]))
+  in
+  Tgen.qtest ~count:150 "truncation matches linear oracle" gen
+    (Format.asprintf "%a" Database.pp)
+    (fun db ->
+      let analysis = Tsens.analyze p3_cq db in
+      let p = Truncation.profile analysis "R2" in
+      let top = Truncation.max_tuple_sensitivity p + 2 in
+      let ok = ref true in
+      for i = 0 to top do
+        if
+          Truncation.truncated_answer p i <> oracle_truncated analysis "R2" i
+          || Truncation.tuples_dropped p i <> oracle_dropped analysis "R2" i
+        then ok := false
+      done;
+      !ok)
+
+let test_truncate_database_preserves_column_order () =
+  (* The stored column order of R2 is (C, B) — the reverse of the atom
+     order the DP probes in. truncate_database must hand back the
+     relation in its stored order, or every later consumer of the
+     database reads transposed columns. *)
+  let r2_swapped =
+    Relation.create ~schema:(schema [ "C"; "B" ])
+      [
+        (tup [ s "c1"; s "b1" ], 1);
+        (tup [ s "c2"; s "b1" ], 1);
+        (tup [ s "c1"; s "b2" ], 2);
+      ]
+  in
+  let db = Database.update ~name:"R2" (fun _ -> r2_swapped) fig3_db in
+  let analysis = Tsens.analyze fig3_cq db in
+  let p = Truncation.profile analysis "R2" in
+  List.iter
+    (fun i ->
+      let truncated = Truncation.truncate_database analysis "R2" i db in
+      let r2' = Database.find "R2" truncated in
+      Alcotest.(check bool)
+        (Printf.sprintf "threshold %d keeps stored schema" i)
+        true
+        (Schema.equal (Relation.schema r2_swapped) (Relation.schema r2'));
+      Alcotest.(check int)
+        (Printf.sprintf "threshold %d count agrees" i)
+        (Truncation.truncated_answer p i)
+        (Yannakakis.count fig3_cq truncated))
+    [ 0; 4; 6; 18; 50 ]
+
+(* ------------------------------------------------------------------ *)
+(* Saturation reporting *)
+
+(* A path-4 instance whose counts multiply past Count.max_count: every
+   per-tuple sensitivity and the true answer saturate. The report must
+   carry the saturated flag and render "overflow", never the raw
+   max_int. *)
+let saturated_db =
+  let big = 1 lsl 31 in
+  Database.of_list
+    [
+      ( "R1",
+        Relation.create ~schema:(schema [ "A"; "B" ])
+          [ (tup [ s "a"; s "b" ], big) ] );
+      ( "R2",
+        Relation.create ~schema:(schema [ "B"; "C" ])
+          [ (tup [ s "b"; s "c" ], 1) ] );
+      ( "R3",
+        Relation.create ~schema:(schema [ "C"; "D" ])
+          [ (tup [ s "c"; s "d" ], big) ] );
+      ( "R4",
+        Relation.create ~schema:(schema [ "D"; "E" ])
+          [ (tup [ s "d"; s "e" ], big) ] );
+    ]
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_saturated_report () =
+  let analysis = Tsens.analyze fig3_cq saturated_db in
+  Alcotest.(check bool) "output size saturates" true
+    (Count.is_saturated (Tsens.output_size analysis));
+  let rng = Prng.create 11 in
+  let config = Mechanism.default_config ~ell:4 ~private_relation:"R2" in
+  let report = Mechanism.run_with_analysis rng config analysis in
+  Alcotest.(check bool) "report flagged" true report.Report.saturated;
+  Alcotest.(check string) "true answer renders as overflow" "overflow"
+    (Report.value_to_string report.Report.true_answer);
+  let rendered = Format.asprintf "%a" Report.pp report in
+  Alcotest.(check bool) "pp prints overflow" true
+    (contains ~needle:"overflow" rendered);
+  Alcotest.(check bool) "pp prints the marker" true
+    (contains ~needle:"[saturated]" rendered);
+  Alcotest.(check bool) "raw max_int never leaks" false
+    (contains ~needle:(string_of_int max_int) rendered);
+  let summary = Metrics.summarize [ { Metrics.report; seconds = 0.1 } ] in
+  Alcotest.(check int) "summary counts the trial" 1 summary.Metrics.saturated_runs;
+  let srendered = Format.asprintf "%a" Metrics.pp_summary summary in
+  Alcotest.(check bool) "summary pp flags saturation" true
+    (contains ~needle:"saturated" srendered);
+  Alcotest.(check bool) "summary never leaks max_int" false
+    (contains ~needle:(string_of_int max_int) srendered)
+
+let test_unsaturated_report_unflagged () =
+  let rng = Prng.create 12 in
+  let config = Mechanism.default_config ~ell:18 ~private_relation:"R2" in
+  let report = Mechanism.run rng config fig3_cq fig3_db in
+  Alcotest.(check bool) "ordinary run unflagged" false report.Report.saturated;
+  let rendered = Format.asprintf "%a" Report.pp report in
+  Alcotest.(check bool) "no marker" false
+    (contains ~needle:"[saturated]" rendered)
+
 (* ------------------------------------------------------------------ *)
 (* TSensDP *)
 
@@ -485,6 +708,12 @@ let () =
       ( "truncation",
         [
           Alcotest.test_case "profile fig3" `Quick test_truncation_profile_fig3;
+          Alcotest.test_case "boundaries" `Quick test_truncation_boundaries;
+          Alcotest.test_case "empty profile" `Quick
+            test_truncation_empty_profile;
+          prop_truncation_matches_oracle;
+          Alcotest.test_case "column order preserved" `Quick
+            test_truncate_database_preserves_column_order;
           Alcotest.test_case "database consistency" `Quick
             test_truncate_database_consistent;
           prop_truncation_global_sensitivity;
@@ -521,4 +750,10 @@ let () =
             test_accountant_with_mechanisms;
         ] );
       ("metrics", [ Alcotest.test_case "median/mean" `Quick test_metrics_median_mean ]);
+      ( "saturation",
+        [
+          Alcotest.test_case "saturated report" `Quick test_saturated_report;
+          Alcotest.test_case "unsaturated report" `Quick
+            test_unsaturated_report_unflagged;
+        ] );
     ]
