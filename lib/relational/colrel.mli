@@ -1,0 +1,52 @@
+(** Dictionary-encoded columnar relations.
+
+    The storage format behind [TSENS_STORAGE=columnar]: one [int array]
+    of {!Dict} ids per attribute plus a parallel multiplicity array.
+    Invariant: the row set is distinct (one entry per distinct tuple);
+    row *order* is unspecified — {!Relation.of_encoded} sorts when a
+    columnar result becomes a row relation again. Values decode back to
+    [Value.t] only at that boundary. *)
+
+type t
+
+val make : schema:Schema.t -> cols:int array array -> counts:Count.t array -> t
+(** Assemble a columnar relation from kernel output. The caller
+    guarantees the distinct-rows invariant and positive counts; column
+    count must match the schema arity and all arrays must share one
+    length. Stamped with the current {!Dict.generation}. *)
+
+val of_pairs : Schema.t -> (Tuple.t * Count.t) array -> t
+(** Encode rows verbatim (interning every value, one dictionary lock
+    acquisition for the whole relation). Does not group: feed the result
+    to {!group_self} unless the input rows are already distinct. *)
+
+val schema : t -> Schema.t
+val nrows : t -> int
+val arity : t -> int
+
+val col : t -> int -> int array
+(** Column [j] as dictionary ids. Owned by the relation: do not mutate. *)
+
+val counts : t -> Count.t array
+(** Per-row multiplicities. Owned by the relation: do not mutate. *)
+
+val count : t -> int -> Count.t
+
+val generation : t -> int
+(** The {!Dict.generation} the ids were assigned under. Stale encodings
+    (dictionary reset since) must be rebuilt, never decoded. *)
+
+val decode_row : t -> int -> Tuple.t
+val decode_rows : t -> (Tuple.t * Count.t) array
+
+val permute : t -> int array -> t
+(** Rows gathered through an index array (reordering or selection). *)
+
+val group_by : schema:Schema.t -> int array -> t -> t
+(** [group_by ~schema positions t] is the γ kernel in the integer
+    domain: group rows by the listed source columns, sum multiplicities
+    (saturating), keep one representative per group. [schema] names the
+    grouped columns, in [positions] order. *)
+
+val group_self : t -> t
+(** Merge duplicate rows over all columns — columnar normalization. *)

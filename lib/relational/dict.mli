@@ -1,0 +1,40 @@
+(** The value dictionary of the columnar storage layer.
+
+    Interns {!Value.t}s into dense immutable [int] ids; the columnar
+    representation ({!Colrel}) stores relations as arrays of these ids
+    and the integer-key join kernels compare and hash nothing else.
+    Append-only: an id never changes meaning within a {!generation}, so
+    version-keyed caches of encoded artifacts stay sound by
+    construction. Domain-safe: interning is serialized, decoding is
+    lock-free. *)
+
+val intern : Value.t -> int
+(** The id of a value, assigning the next dense id on first sight.
+    Injective: distinct values get distinct ids. *)
+
+val with_interner : ((Value.t -> int) -> 'a) -> 'a
+(** [with_interner f] passes [f] an intern function that holds the
+    dictionary lock for the whole call — one acquisition per relation
+    encode instead of one per cell. [f] must not call back into this
+    module. *)
+
+val find_opt : Value.t -> int option
+(** The id of a value if it has ever been interned, without interning
+    it. [None] means no encoded relation contains the value — probe
+    paths use this to answer "absent" without growing the dictionary. *)
+
+val value : int -> Value.t
+(** Decode an id. Only defined for ids returned by {!intern} in the
+    current {!generation}. *)
+
+val size : unit -> int
+(** Number of interned values; ids live in [[0, size ())]. *)
+
+val generation : unit -> int
+(** Bumped by {!reset}. Encoded artifacts record the generation they
+    were built under and are discarded on mismatch instead of decoding
+    through the wrong mapping. *)
+
+val reset : unit -> unit
+(** Drop every interned value and bump {!generation}. For tests; must
+    not race with concurrent encoding. *)

@@ -25,3 +25,7 @@ val max_group_count : t -> Count.t
 (** Largest group multiplicity — [mf] over the key schema. 0 if empty. *)
 
 val iter_groups : (Tuple.t -> (Tuple.t * Count.t) array -> unit) -> t -> unit
+
+val approx_words : t -> int
+(** Rough retained size in words, for cache weighting. Never decodes a
+    columnar index. *)

@@ -139,7 +139,12 @@ let partitioned plan a b emit_partition =
    judged against. *)
 let pair_size a b = Relation.distinct_count a + Relation.distinct_count b
 
-let natural_join a b =
+(* Each binary operator dispatches on the storage mode up front: the
+   columnar kernels (Coljoin) run the same logical plan on dictionary
+   ids and are bit-identical to the row implementations below, which
+   stay as the always-available oracle (and the default). *)
+
+let natural_join_rows a b =
   if not (Exec.pays_off (pair_size a b)) then begin
     let acc = ref [] in
     let combined = stream_join a b (fun tup cnt -> acc := (tup, cnt) :: !acc) in
@@ -157,13 +162,12 @@ let natural_join a b =
     in
     Relation.create ~schema:plan.combined (List.concat per_partition)
 
-let join_project ~group a b =
-  Obs.span "join.project" @@ fun () ->
-  let combined = Schema.union (Relation.schema a) (Relation.schema b) in
-  if not (Schema.subset group combined) then
-    Errors.schema_errorf "join_project: %a not a subset of joined schema %a"
-      Schema.pp group Schema.pp combined;
-  let positions = Schema.positions ~sub:group combined in
+let natural_join a b =
+  if Storage.is_columnar () then
+    Obs.span "join.columnar" @@ fun () -> Coljoin.natural_join a b
+  else natural_join_rows a b
+
+let join_project_rows ~group a b positions =
   if not (Exec.pays_off (pair_size a b)) then begin
     let table = H.create 1024 in
     let emit tup cnt =
@@ -196,6 +200,17 @@ let join_project ~group a b =
     in
     Relation.create ~schema:group (List.concat per_partition)
   end
+
+let join_project ~group a b =
+  Obs.span "join.project" @@ fun () ->
+  let combined = Schema.union (Relation.schema a) (Relation.schema b) in
+  if not (Schema.subset group combined) then
+    Errors.schema_errorf "join_project: %a not a subset of joined schema %a"
+      Schema.pp group Schema.pp combined;
+  if Storage.is_columnar () then Coljoin.join_project ~group a b
+  else
+    let positions = Schema.positions ~sub:group combined in
+    join_project_rows ~group a b positions
 
 let join_all = function
   | [] -> invalid_arg "Join.join_all: empty list"
@@ -330,7 +345,8 @@ let semijoin a b =
 
 let count_join a b =
   Obs.span "join.count" @@ fun () ->
-  if not (Exec.pays_off (pair_size a b)) then begin
+  if Storage.is_columnar () then Coljoin.count_join a b
+  else if not (Exec.pays_off (pair_size a b)) then begin
     let total = ref Count.zero in
     let plan = make_plan (Relation.schema a) (Relation.schema b) in
     let idx = build_right_index plan b in

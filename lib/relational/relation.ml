@@ -2,6 +2,13 @@ type t = {
   schema : Schema.t;
   rows : (Tuple.t * Count.t) array;
   version : int;
+  enc : Colrel.t option Atomic.t;
+      (* Memoized columnar encoding, filled on first use under
+         TSENS_STORAGE=columnar. Per-value, not shared across derived
+         relations (rename/scale/filter change what the encoding would
+         be), so every constructor mints a fresh cell. Atomic because
+         joins encode on worker domains; the race is benign — both
+         encodings are correct, one wins. *)
 }
 
 (* Version stamps are allocated from one process-wide counter so that no
@@ -13,6 +20,39 @@ type t = {
 let version_counter = Atomic.make 0
 let next_version () = Atomic.fetch_and_add version_counter 1
 let version r = r.version
+
+let mk schema rows =
+  { schema; rows; version = next_version (); enc = Atomic.make None }
+
+(* ------------------------------------------------------------------ *)
+(* The columnar boundary. [encoded] is the encode direction (memoized on
+   the relation, rebuilt if the dictionary generation moved);
+   [of_encoded] is the decode direction for kernel outputs, which are
+   distinct but unsorted — sorting by [Tuple.compare] is the only
+   canonicalization they still need, and the sorted permutation is
+   applied to the columns too so the result is born encoded (a chain of
+   columnar joins never re-interns). *)
+
+let encoded r =
+  match Atomic.get r.enc with
+  | Some c when Colrel.generation c = Dict.generation () -> c
+  | Some _ | None ->
+      let c = Colrel.of_pairs r.schema r.rows in
+      Atomic.set r.enc (Some c);
+      c
+
+let of_encoded c =
+  let pairs = Colrel.decode_rows c in
+  let order = Array.init (Array.length pairs) Fun.id in
+  Array.sort
+    (fun i j -> Tuple.compare (fst pairs.(i)) (fst pairs.(j)))
+    order;
+  {
+    schema = Colrel.schema c;
+    rows = Array.map (fun i -> pairs.(i)) order;
+    version = next_version ();
+    enc = Atomic.make (Some (Colrel.permute c order));
+  }
 
 module T = Tuple.Tbl
 
@@ -38,27 +78,36 @@ let table_rows table =
   T.fold (fun tup cnt acc -> if cnt > 0 then (tup, cnt) :: acc else acc)
     table []
 
+(* The columnar path encodes once and groups in the integer domain —
+   same spec (sum per distinct tuple, drop non-positive, sort), so the
+   output is bit-identical to the row path; saturating addition is
+   order-free, so the two paths' different accumulation orders cannot
+   diverge even at the saturation point. *)
 let grouped schema pairs =
-  let n = Array.length pairs in
-  let rows =
-    if not (Exec.pays_off n) then begin
-      let table = T.create (max 16 n) in
-      group_into table pairs 0 n (fun _ -> true);
-      Array.of_list (table_rows table)
-    end
-    else begin
-      let parts = Exec.jobs () in
-      let buckets = Exec.parallel_map (fun (tup, _) -> Tuple.bucket tup parts) pairs in
-      let groups = Array.make parts [] in
-      Exec.parallel_for ~chunks:parts 0 parts (fun p ->
-          let table = T.create (max 16 (n / parts)) in
-          group_into table pairs 0 n (fun i -> buckets.(i) = p);
-          groups.(p) <- table_rows table);
-      Array.of_list (List.concat (Array.to_list groups))
-    end
-  in
-  Array.sort (fun (a, _) (b, _) -> Tuple.compare a b) rows;
-  { schema; rows; version = next_version () }
+  if Storage.is_columnar () then
+    of_encoded (Colrel.group_self (Colrel.of_pairs schema pairs))
+  else begin
+    let n = Array.length pairs in
+    let rows =
+      if not (Exec.pays_off n) then begin
+        let table = T.create (max 16 n) in
+        group_into table pairs 0 n (fun _ -> true);
+        Array.of_list (table_rows table)
+      end
+      else begin
+        let parts = Exec.jobs () in
+        let buckets = Exec.parallel_map (fun (tup, _) -> Tuple.bucket tup parts) pairs in
+        let groups = Array.make parts [] in
+        Exec.parallel_for ~chunks:parts 0 parts (fun p ->
+            let table = T.create (max 16 (n / parts)) in
+            group_into table pairs 0 n (fun i -> buckets.(i) = p);
+            groups.(p) <- table_rows table);
+        Array.of_list (List.concat (Array.to_list groups))
+      end
+    in
+    Array.sort (fun (a, _) (b, _) -> Tuple.compare a b) rows;
+    mk schema rows
+  end
 
 (* Merge duplicate tuples, drop zero counts, sort: the canonical form all
    constructors funnel through. *)
@@ -81,7 +130,7 @@ let of_tuples ~schema tuples = create ~schema (List.map (fun t -> (t, 1)) tuples
 let of_rows ~schema rows =
   of_tuples ~schema (List.map Tuple.of_list rows)
 
-let empty schema = { schema; rows = [||]; version = next_version () }
+let empty schema = mk schema [||]
 
 let schema r = r.schema
 let rows r = r.rows
@@ -126,29 +175,30 @@ let project target r =
   let positions =
     Schema.positions ~sub:target r.schema
   in
-  let key (tup, cnt) = (Tuple.project positions tup, cnt) in
-  let keyed =
-    if Exec.pays_off (Array.length r.rows) then Exec.parallel_map key r.rows
-    else Array.map key r.rows
-  in
-  grouped target keyed
+  if Storage.is_columnar () then
+    (* Column selection is array indexing and the group-by runs on ids:
+       no per-row tuple is ever built. *)
+    of_encoded (Colrel.group_by ~schema:target positions (encoded r))
+  else begin
+    let key (tup, cnt) = (Tuple.project positions tup, cnt) in
+    let keyed =
+      if Exec.pays_off (Array.length r.rows) then Exec.parallel_map key r.rows
+      else Array.map key r.rows
+    in
+    grouped target keyed
+  end
 
 let filter pred r =
   let rows =
     Array.to_list r.rows |> List.filter (fun (tup, _) -> pred r.schema tup)
   in
-  { schema = r.schema; rows = Array.of_list rows; version = next_version () }
+  mk r.schema (Array.of_list rows)
 
-let rename mapping r =
-  { r with schema = Schema.rename mapping r.schema; version = next_version () }
+let rename mapping r = mk (Schema.rename mapping r.schema) r.rows
 
 let scale factor r =
   if factor <= 0 then Errors.data_errorf "scale: non-positive factor %d" factor;
-  {
-    r with
-    rows = Array.map (fun (t, c) -> (t, Count.mul c factor)) r.rows;
-    version = next_version ();
-  }
+  mk r.schema (Array.map (fun (t, c) -> (t, Count.mul c factor)) r.rows)
 
 let add ?(count = 1) tup r =
   check_row r.schema (tup, count);

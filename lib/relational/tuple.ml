@@ -16,7 +16,18 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
-let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+(* FNV-1a-style accumulator over the per-value hashes, with a final
+   avalanche. The previous [acc * 31 + h] mix left the low bits of the
+   last value dominating the low bits of the result, so partitioning by
+   [hash mod parts] degenerated on sequential integer keys (every bucket
+   function the parallel kernels use routes through these low bits). *)
+let fnv_prime = 0x100000001b3
+
+let hash t =
+  let h = ref 0x2545f4914f6cdd1d in
+  Array.iter (fun v -> h := (!h lxor Value.hash v) * fnv_prime) t;
+  let h = !h in
+  h lxor (h lsr 29)
 
 (* One hashed-table functor for every tuple-keyed table in the library
    (joins, indexes, relation normalization): consistent hashing, no

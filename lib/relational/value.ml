@@ -19,10 +19,17 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Hash the payload directly and fold the constructor tag in as a fixed
+   xor salt: the historical [Hashtbl.hash (tag, payload)] boxed a fresh
+   tuple on every call, which dominated the profile of tuple hashing.
+   [Hashtbl.hash] on an immediate int or a string payload allocates
+   nothing. The salts are arbitrary distinct odd constants so equal
+   payloads under different constructors land in different buckets;
+   [Tbl] semantics (equal values hash equal) are unchanged. *)
 let hash = function
-  | Int n -> Hashtbl.hash (0, n)
-  | Str s -> Hashtbl.hash (1, s)
-  | Bool b -> Hashtbl.hash (2, b)
+  | Int n -> Hashtbl.hash n lxor 0x4cf5ad43
+  | Str s -> Hashtbl.hash s lxor 0x183e94b1
+  | Bool b -> Hashtbl.hash b lxor 0x27d4eb2f
 
 module Tbl = Hashtbl.Make (struct
   type nonrec t = t
